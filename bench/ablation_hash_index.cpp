@@ -1,0 +1,77 @@
+// Ablation A2 — the per-revision lightweight hash index (paper §3.3.5).
+//
+// The paper reports that threads spent significant time in binary searches
+// inside revisions, motivating the two-slot hash index; it both improved
+// performance and narrowed the gap between revision-size settings. This
+// bench measures lookup-heavy and mixed throughput with the index on vs off
+// across fixed revision sizes.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/jiffy.h"
+#include "workload/keyvalue.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace jiffy;
+using Map = JiffyMap<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kEntries = 40'000;
+constexpr std::uint64_t kSpace = kEntries * 2;
+
+double run(Map& map, double read_fraction, int threads, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(31 + t);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t i = rng.next_below(kSpace);
+        const auto k = KeyCodec<std::uint64_t>::encode(i, kSpace);
+        if (rng.next_double() < read_fraction)
+          map.get(k);
+        else
+          map.put(k, rng.next());
+        ++n;
+      }
+      ops.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& th : ts) th.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(ops.load()) / dt / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench,rev_size,hash_index,mix,mops\n");
+  for (std::uint32_t size : {25u, 100u, 300u}) {
+    for (bool hash : {true, false}) {
+      JiffyConfig cfg;
+      cfg.autoscaler.enabled = false;
+      cfg.autoscaler.fixed_size = size;
+      cfg.hash_index = hash;
+      for (double rf : {1.0, 0.75}) {
+        Map m(cfg);
+        for (std::uint64_t i = 0; i < kEntries; ++i)
+          m.put(KeyCodec<std::uint64_t>::encode(i, kSpace), i);
+        const double mops = run(m, rf, 2, 0.2);
+        std::printf("ablation_hash,%u,%s,reads%.0f%%,%.3f\n", size,
+                    hash ? "on" : "off", rf * 100, mops);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

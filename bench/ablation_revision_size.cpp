@@ -1,0 +1,109 @@
+// Ablation A3 — revision sizing (paper §3.3.6).
+//
+// Part 1: fixed revision sizes 25..300 vs the autoscaler, under a write-heavy
+// and a read-heavy mix. The paper's claim: small revisions win for updates,
+// large ones for reads, and the autoscaler tracks the better setting (it
+// reported ~35-entry revisions in write-only runs vs ~130 with 75% lookups).
+//
+// Part 2: adaptation trace — switch the workload from write-heavy to
+// read-heavy mid-run and print the average head-revision size over time.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/jiffy.h"
+#include "workload/keyvalue.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace jiffy;
+using Map = JiffyMap<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kEntries = 20'000;
+constexpr std::uint64_t kSpace = kEntries * 2;
+
+double run_mix(Map& map, double read_fraction, double seconds, int threads) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(23 + t);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t i = rng.next_below(kSpace);
+        const auto k = KeyCodec<std::uint64_t>::encode(i, kSpace);
+        if (rng.next_double() < read_fraction)
+          map.get(k);
+        else if (rng.next_bool(0.5))
+          map.put(k, rng.next());
+        else
+          map.erase(k);
+        ++n;
+      }
+      ops.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& th : ts) th.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(ops.load()) / dt / 1e6;
+}
+
+void preload(Map& m) {
+  for (std::uint64_t i = 0; i < kEntries; ++i)
+    m.put(KeyCodec<std::uint64_t>::encode(i, kSpace), i);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench,config,mix,mops,avg_rev_size\n");
+  const int threads = 4;
+
+  for (double rf : {0.0, 0.9}) {
+    for (std::uint32_t fixed : {25u, 50u, 100u, 200u, 300u}) {
+      JiffyConfig cfg;
+      cfg.autoscaler.enabled = false;
+      cfg.autoscaler.fixed_size = fixed;
+      Map m(cfg);
+      preload(m);
+      const double mops = run_mix(m, rf, 0.2, threads);
+      std::printf("ablation_revsize,fixed%u,reads%.0f%%,%.3f,%.1f\n", fixed,
+                  rf * 100, mops, m.debug_stats().avg_revision_size);
+    }
+    {
+      Map m;  // autoscaler on
+      preload(m);
+      run_mix(m, rf, 0.3, threads);  // warm up the EMAs
+      const double mops = run_mix(m, rf, 0.2, threads);
+      std::printf("ablation_revsize,autoscale,reads%.0f%%,%.3f,%.1f\n",
+                  rf * 100, mops, m.debug_stats().avg_revision_size);
+    }
+    std::fflush(stdout);
+  }
+
+  // Part 2: adaptation over time (write-heavy -> read-heavy).
+  {
+    Map m;
+    preload(m);
+    std::printf("bench,phase,t,avg_rev_size\n");
+    for (int step = 0; step < 5; ++step) {
+      run_mix(m, 0.0, 0.1, threads);
+      std::printf("ablation_adapt,writes,%d,%.1f\n", step,
+                  m.debug_stats().avg_revision_size);
+    }
+    for (int step = 0; step < 5; ++step) {
+      run_mix(m, 0.95, 0.1, threads);
+      std::printf("ablation_adapt,reads,%d,%.1f\n", step,
+                  m.debug_stats().avg_revision_size);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,365 @@
+// Figure-regeneration harness (paper §4).
+//
+// Reproduces the microbenchmark of the evaluation: per-thread single-role
+// workloads (update / lookup / range-scan threads), four scenarios, batch
+// modes (simple, 10-op, 100-op × sequential/random), uniform or Zipfian key
+// choice, both key/value shapes, swept over a thread grid for every index.
+//
+// Scenarios (paper §4.2):
+//   a: 100% update threads
+//   b: 25% update, 75% lookup
+//   c: 25% update, 50% lookup, 25% scan (100 entries)
+//   d: 25% update, 50% lookup, 25% scan (10000 entries)
+//
+// Reported numbers are millions of *basic operations* per second: one
+// put/remove/get counts 1, a scan over n entries counts n, a B-op batch
+// counts B. Each row also reports the update-only throughput — the appendix
+// figures (7-10) are the same runs with that second series plotted.
+//
+// Scale: defaults target a small machine (see DESIGN.md §2 scale note); pass
+// --paper for the full 10M-entry, 96-thread grid of the paper's testbed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/adapters.h"
+#include "workload/keyvalue.h"
+#include "workload/rng.h"
+
+namespace jiffy::bench {
+
+enum class Scenario { kUpdateOnly, kUpdateLookup, kMixedShortScan, kMixedLongScan };
+
+inline const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kUpdateOnly: return "a_update";
+    case Scenario::kUpdateLookup: return "b_lookup75";
+    case Scenario::kMixedShortScan: return "c_scan100";
+    case Scenario::kMixedLongScan: return "d_scan10k";
+  }
+  return "?";
+}
+
+struct BatchMode {
+  std::size_t size = 0;  // 0 = simple put/remove
+  bool sequential = false;
+
+  std::string name() const {
+    if (size == 0) return "simple";
+    return (sequential ? "b" : "b") + std::to_string(size) +
+           (sequential ? "_seq" : "_rand");
+  }
+};
+
+struct RunConfig {
+  std::string figure;
+  std::string kv_shape;
+  KeyChooser::Kind dist = KeyChooser::Kind::Uniform;
+  std::uint64_t key_space = 40'000;  // 2x entries, like the paper's 20M/10M
+  std::uint64_t entries = 20'000;
+  double seconds = 0.15;
+  // Jiffy's autoscaler EMAs are time-weighted (paper §3.3.6 reports ~1-10 s
+  // adjustment time); the warmup runs the mix once so measured cells see the
+  // adapted revision sizes, not the transient.
+  double warmup = 0.5;
+  std::vector<int> threads = {1, 2, 4};
+  Scenario scenario = Scenario::kUpdateOnly;
+  BatchMode batch;
+  double zipf_theta = 0.99;
+};
+
+struct RowResult {
+  double total_mops = 0;
+  double update_mops = 0;
+};
+
+// Thread-role split of the paper: indices below are "percent * threads".
+struct RoleSplit {
+  int updaters, lookups, scanners;
+  std::size_t scan_len;
+};
+
+inline RoleSplit roles_for(Scenario s, int threads) {
+  auto pct = [&](double p) {
+    int n = static_cast<int>(p * threads + 0.5);
+    return n < 1 ? 1 : n;
+  };
+  switch (s) {
+    case Scenario::kUpdateOnly:
+      return {threads, 0, 0, 0};
+    case Scenario::kUpdateLookup: {
+      const int upd = threads >= 4 ? pct(0.25) : 1;
+      return {upd, threads - upd, 0, 0};
+    }
+    case Scenario::kMixedShortScan:
+    case Scenario::kMixedLongScan: {
+      int upd = threads >= 4 ? pct(0.25) : 1;
+      int scan = threads >= 4 ? pct(0.25) : 1;
+      int look = threads - upd - scan;
+      if (look < 0) {
+        look = 0;
+        scan = threads - upd;
+        if (scan < 0) scan = 0;
+      }
+      return {upd, look, scan,
+              s == Scenario::kMixedShortScan ? std::size_t{100}
+                                             : std::size_t{10'000}};
+    }
+  }
+  return {threads, 0, 0, 0};
+}
+
+// Runs one (index, config, thread-count) cell against a preloaded index.
+template <class K, class V, class Adapter>
+RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads) {
+  const KeyChooser chooser(cfg.dist, cfg.key_space, cfg.zipf_theta);
+  const RoleSplit roles = roles_for(cfg.scenario, threads);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::atomic<std::uint64_t> update_ops{0};
+
+  auto updater = [&](int tid) {
+    Rng rng(0xBEEF + static_cast<std::uint64_t>(tid));
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (cfg.batch.size == 0) {
+        const std::uint64_t i = chooser.next_index(rng);
+        const K k = KeyCodec<K>::encode(i, cfg.key_space);
+        if (rng.next_bool(0.5))
+          idx.put(k, ValueCodec<V>::make(i, rng.next()));
+        else
+          idx.erase(k);
+        ++ops;
+      } else {
+        std::vector<BatchOp<K, V>> b;
+        b.reserve(cfg.batch.size);
+        std::uint64_t i = chooser.next_index(rng);
+        for (std::size_t j = 0; j < cfg.batch.size; ++j) {
+          if (!cfg.batch.sequential) i = chooser.next_index(rng);
+          const K k = KeyCodec<K>::encode(i % cfg.key_space, cfg.key_space);
+          if (rng.next_bool(0.5))
+            b.push_back(BatchOp<K, V>::put(k, ValueCodec<V>::make(i, rng.next())));
+          else
+            b.push_back(BatchOp<K, V>::remove(k));
+          if (cfg.batch.sequential) ++i;
+        }
+        idx.batch(std::move(b));
+        ops += cfg.batch.size;
+      }
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    update_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  auto lookup = [&](int tid) {
+    Rng rng(0xFACE + static_cast<std::uint64_t>(tid));
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t i = chooser.next_index(rng);
+      idx.get(KeyCodec<K>::encode(i, cfg.key_space));
+      ++ops;
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  auto scanner = [&](int tid) {
+    Rng rng(0x5CA9 + static_cast<std::uint64_t>(tid));
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t i = chooser.next_index(rng);
+      ops += idx.scan_n(KeyCodec<K>::encode(i, cfg.key_space), roles.scan_len,
+                        [](const K&, const V&) {});
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> ts;
+  int tid = 0;
+  for (int i = 0; i < roles.updaters; ++i) ts.emplace_back(updater, tid++);
+  for (int i = 0; i < roles.lookups; ++i) ts.emplace_back(lookup, tid++);
+  for (int i = 0; i < roles.scanners; ++i) ts.emplace_back(scanner, tid++);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RowResult r;
+  r.total_mops = static_cast<double>(total_ops.load()) / dt / 1e6;
+  r.update_mops = static_cast<double>(update_ops.load()) / dt / 1e6;
+  return r;
+}
+
+// Preloads `entries` distinct keys (indices 0..entries-1, hashed into the key
+// domain) and sweeps the thread grid, reusing the index across thread counts
+// (the 50/50 put/remove mix keeps the population stationary).
+template <class K, class V, class Adapter>
+void run_index(const RunConfig& cfg, const char* name) {
+  Adapter idx;
+  {
+    // Shuffled preload: ascending insertion would degenerate the BST-route
+    // baselines (every split lands on the right edge).
+    std::vector<std::uint64_t> order(cfg.entries);
+    for (std::uint64_t i = 0; i < cfg.entries; ++i) order[i] = i;
+    Rng rng(1);
+    for (std::uint64_t i = cfg.entries; i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    for (const std::uint64_t i : order)
+      idx.put(KeyCodec<K>::encode(i, cfg.key_space), ValueCodec<V>::make(i, 0));
+  }
+  if (cfg.warmup > 0) {
+    RunConfig warm = cfg;
+    warm.seconds = cfg.warmup;
+    run_cell<K, V>(idx, warm, cfg.threads.back());
+  }
+  for (int threads : cfg.threads) {
+    const RowResult r = run_cell<K, V>(idx, cfg, threads);
+    std::printf("%s,%s,%s,%s,%s,%s,%d,%.3f,%.3f\n", cfg.figure.c_str(),
+                scenario_name(cfg.scenario), cfg.batch.name().c_str(),
+                cfg.dist == KeyChooser::Kind::Uniform ? "uniform" : "zipf",
+                cfg.kv_shape.c_str(), name, threads, r.total_mops,
+                r.update_mops);
+    std::fflush(stdout);
+  }
+}
+
+struct CliOptions {
+  double seconds = 0.15;
+  double warmup = 0.5;
+  std::uint64_t entries = 20'000;
+  std::vector<int> threads = {1, 2, 4};
+  bool paper = false;
+  std::string only_index;     // run just one index
+  std::string only_scenario;  // a/b/c/d
+  bool skip_batches = false;
+};
+
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* p) -> const char* {
+      return a.c_str() + std::strlen(p);
+    };
+    if (a == "--paper") {
+      o.paper = true;
+      o.entries = 10'000'000;
+      o.seconds = 5.0;
+      o.warmup = 10.0;
+      o.threads = {8, 16, 32, 48, 64, 80, 96};
+    } else if (a.rfind("--seconds=", 0) == 0) {
+      o.seconds = std::stod(val("--seconds="));
+    } else if (a.rfind("--warmup=", 0) == 0) {
+      o.warmup = std::stod(val("--warmup="));
+    } else if (a.rfind("--entries=", 0) == 0) {
+      o.entries = std::stoull(val("--entries="));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      o.threads.clear();
+      std::string list = val("--threads=");
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        o.threads.push_back(std::stoi(list.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+    } else if (a.rfind("--index=", 0) == 0) {
+      o.only_index = val("--index=");
+    } else if (a.rfind("--scenario=", 0) == 0) {
+      o.only_scenario = val("--scenario=");
+    } else if (a == "--no-batches") {
+      o.skip_batches = true;
+    } else if (a == "--help") {
+      std::printf(
+          "flags: --paper | --seconds=S | --entries=N | --threads=a,b,c | "
+          "--index=NAME | --scenario=a|b|c|d | --no-batches\n");
+      std::exit(0);
+    }
+  }
+  return o;
+}
+
+// Runs one complete figure: the simple-update row for every index, then the
+// batch rows for the three indices that support atomic batch updates.
+template <class K, class V>
+void run_figure(const char* figure, const char* kv_shape,
+                KeyChooser::Kind dist, const CliOptions& cli,
+                bool include_kiwi) {
+  RunConfig base;
+  base.figure = figure;
+  base.kv_shape = kv_shape;
+  base.dist = dist;
+  base.entries = cli.entries;
+  base.key_space = cli.entries * 2;
+  base.seconds = cli.seconds;
+  base.warmup = cli.warmup;
+  base.threads = cli.threads;
+
+  std::printf(
+      "figure,scenario,batch,dist,kv,index,threads,total_mops,update_mops\n");
+
+  const Scenario scenarios[] = {Scenario::kUpdateOnly, Scenario::kUpdateLookup,
+                                Scenario::kMixedShortScan,
+                                Scenario::kMixedLongScan};
+  auto scenario_enabled = [&](Scenario s) {
+    if (cli.only_scenario.empty()) return true;
+    return std::string(1, scenario_name(s)[0]) == cli.only_scenario;
+  };
+  auto index_enabled = [&](const char* n) {
+    return cli.only_index.empty() || cli.only_index == n;
+  };
+
+  for (Scenario s : scenarios) {
+    if (!scenario_enabled(s)) continue;
+    RunConfig cfg = base;
+    cfg.scenario = s;
+
+    // Simple put/remove row: every index (Figure top rows).
+    cfg.batch = BatchMode{};
+    if (index_enabled("jiffy")) run_index<K, V, JiffyAdapter<K, V>>(cfg, "jiffy");
+    if (index_enabled("snaptree"))
+      run_index<K, V, SnapTreeAdapter<K, V>>(cfg, "snaptree");
+    if (index_enabled("k-ary")) run_index<K, V, KaryAdapter<K, V>>(cfg, "k-ary");
+    if (index_enabled("ca-avl"))
+      run_index<K, V, CaAvlAdapter<K, V>>(cfg, "ca-avl");
+    if (index_enabled("ca-sl")) run_index<K, V, CaSlAdapter<K, V>>(cfg, "ca-sl");
+    if (index_enabled("ca-imm"))
+      run_index<K, V, CaImmAdapter<K, V>>(cfg, "ca-imm");
+    if (index_enabled("lfca")) run_index<K, V, LfcaAdapter<K, V>>(cfg, "lfca");
+    if (index_enabled("cslm")) run_index<K, V, CslmAdapter<K, V>>(cfg, "cslm");
+    if (include_kiwi && index_enabled("kiwi"))
+      run_index<K, V, KiwiAdapter<K, V>>(cfg, "kiwi");
+
+    // Batch rows: Jiffy vs the lock-based CA trees (Figure middle/bottom).
+    if (cli.skip_batches) continue;
+    for (std::size_t bsz : {std::size_t{10}, std::size_t{100}}) {
+      for (bool seq : {true, false}) {
+        cfg.batch = BatchMode{bsz, seq};
+        if (index_enabled("jiffy"))
+          run_index<K, V, JiffyAdapter<K, V>>(cfg, "jiffy");
+        if (index_enabled("ca-avl"))
+          run_index<K, V, CaAvlAdapter<K, V>>(cfg, "ca-avl");
+        if (index_enabled("ca-sl"))
+          run_index<K, V, CaSlAdapter<K, V>>(cfg, "ca-sl");
+      }
+    }
+  }
+}
+
+}  // namespace jiffy::bench
