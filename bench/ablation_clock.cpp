@@ -35,7 +35,7 @@ void run(const char* name, const Options& o, double read_fraction) {
       map;
   const std::uint64_t space = o.entries * 2;
   for (std::uint64_t i = 0; i < o.entries; ++i)
-    map.put(KeyCodec<std::uint64_t>::encode(i, space), i);
+    map.put(KeyCodec<std::uint64_t>::encode(2 * i, space), i);  // interleave
 
   for (int threads : o.threads) {
     std::atomic<bool> stop{false};

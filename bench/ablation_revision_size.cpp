@@ -58,7 +58,7 @@ double run_mix(Map& map, double read_fraction, double seconds, int threads) {
 
 void preload(Map& m) {
   for (std::uint64_t i = 0; i < kEntries; ++i)
-    m.put(KeyCodec<std::uint64_t>::encode(i, kSpace), i);
+    m.put(KeyCodec<std::uint64_t>::encode(2 * i, kSpace), i);  // interleave
 }
 
 }  // namespace

@@ -53,8 +53,7 @@ struct BatchMode {
 
   std::string name() const {
     if (size == 0) return "simple";
-    return (sequential ? "b" : "b") + std::to_string(size) +
-           (sequential ? "_seq" : "_rand");
+    return "b" + std::to_string(size) + (sequential ? "_seq" : "_rand");
   }
 };
 
@@ -81,9 +80,13 @@ struct RowResult {
 };
 
 // Thread-role split of the paper: indices below are "percent * threads".
+// scan_len is defaulted: only the scan scenarios set it, and the update-only
+// branches spell out the no-scanner split explicitly.
 struct RoleSplit {
-  int updaters, lookups, scanners;
-  std::size_t scan_len;
+  int updaters = 0;
+  int lookups = 0;
+  int scanners = 0;
+  std::size_t scan_len = 0;
 };
 
 inline RoleSplit roles_for(Scenario s, int threads) {
@@ -93,10 +96,10 @@ inline RoleSplit roles_for(Scenario s, int threads) {
   };
   switch (s) {
     case Scenario::kUpdateOnly:
-      return {threads, 0, 0, 0};
+      return {.updaters = threads, .lookups = 0, .scanners = 0};
     case Scenario::kUpdateLookup: {
       const int upd = threads >= 4 ? pct(0.25) : 1;
-      return {upd, threads - upd, 0, 0};
+      return {.updaters = upd, .lookups = threads - upd, .scanners = 0};
     }
     case Scenario::kMixedShortScan:
     case Scenario::kMixedLongScan: {
@@ -108,18 +111,21 @@ inline RoleSplit roles_for(Scenario s, int threads) {
         scan = threads - upd;
         if (scan < 0) scan = 0;
       }
-      return {upd, look, scan,
-              s == Scenario::kMixedShortScan ? std::size_t{100}
-                                             : std::size_t{10'000}};
+      return {.updaters = upd, .lookups = look, .scanners = scan,
+              .scan_len = s == Scenario::kMixedShortScan ? std::size_t{100}
+                                                         : std::size_t{10'000}};
     }
   }
-  return {threads, 0, 0, 0};
+  return {.updaters = threads};
 }
 
 // Runs one (index, config, thread-count) cell against a preloaded index.
+// The chooser is passed in: it is immutable and identical for the whole
+// sweep, and constructing it is O(key_space) for Zipf (the zeta sum), which
+// would otherwise be paid once per cell at --paper scale.
 template <class K, class V, class Adapter>
-RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads) {
-  const KeyChooser chooser(cfg.dist, cfg.key_space, cfg.zipf_theta);
+RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
+                   const KeyChooser& chooser) {
   const RoleSplit roles = roles_for(cfg.scenario, threads);
 
   std::atomic<bool> start{false};
@@ -206,30 +212,37 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads) {
   return r;
 }
 
-// Preloads `entries` distinct keys (indices 0..entries-1, hashed into the key
-// domain) and sweeps the thread grid, reusing the index across thread counts
+// Preloads `entries` distinct keys (indices 0..entries-1, spread evenly over
+// the key domain) and sweeps the thread grid, reusing the index across thread counts
 // (the 50/50 put/remove mix keeps the population stationary).
 template <class K, class V, class Adapter>
 void run_index(const RunConfig& cfg, const char* name) {
   Adapter idx;
   {
     // Shuffled preload: ascending insertion would degenerate the BST-route
-    // baselines (every split lands on the right edge).
+    // baselines (every split lands on the right edge). Indices are strided
+    // across the whole key space (every other lattice point for the default
+    // 2x domain) so present and absent keys interleave — otherwise every
+    // miss would route to the node past the last key.
+    const std::uint64_t stride =
+        cfg.entries ? std::max<std::uint64_t>(cfg.key_space / cfg.entries, 1)
+                    : 1;
     std::vector<std::uint64_t> order(cfg.entries);
-    for (std::uint64_t i = 0; i < cfg.entries; ++i) order[i] = i;
+    for (std::uint64_t i = 0; i < cfg.entries; ++i) order[i] = i * stride;
     Rng rng(1);
     for (std::uint64_t i = cfg.entries; i > 1; --i)
       std::swap(order[i - 1], order[rng.next_below(i)]);
     for (const std::uint64_t i : order)
       idx.put(KeyCodec<K>::encode(i, cfg.key_space), ValueCodec<V>::make(i, 0));
   }
+  const KeyChooser chooser(cfg.dist, cfg.key_space, cfg.zipf_theta);
   if (cfg.warmup > 0) {
     RunConfig warm = cfg;
     warm.seconds = cfg.warmup;
-    run_cell<K, V>(idx, warm, cfg.threads.back());
+    run_cell<K, V>(idx, warm, cfg.threads.back(), chooser);
   }
   for (int threads : cfg.threads) {
-    const RowResult r = run_cell<K, V>(idx, cfg, threads);
+    const RowResult r = run_cell<K, V>(idx, cfg, threads, chooser);
     std::printf("%s,%s,%s,%s,%s,%s,%d,%.3f,%.3f\n", cfg.figure.c_str(),
                 scenario_name(cfg.scenario), cfg.batch.name().c_str(),
                 cfg.dist == KeyChooser::Kind::Uniform ? "uniform" : "zipf",

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs every figure and ablation binary and drops one CSV per bench into
+# BENCH_RESULTS/. Defaults are the small-machine grid (DESIGN.md §2); pass
+# --paper through to any figure via EXTRA_ARGS.
+#
+#   ./bench/run_all.sh                 # small grid, native indices only
+#   EXTRA_ARGS="--paper" ./bench/run_all.sh
+#   BUILD_DIR=build-foo ./bench/run_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-BENCH_RESULTS}
+EXTRA_ARGS=${EXTRA_ARGS:-}
+# Stub adapters (see baselines/registry.h) measure a locked std::map, not
+# the paper's baselines; sweep only the native indices unless overridden.
+INDICES=${INDICES:-"jiffy cslm"}
+
+if [ ! -x "$BUILD_DIR/fig6_uniform_4_4" ]; then
+  echo "building into $BUILD_DIR ..."
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j >/dev/null
+fi
+
+mkdir -p "$OUT_DIR"
+stamp=$(date +%Y%m%d_%H%M%S)
+
+for fig in fig5_uniform_16_100 fig6_uniform_4_4 fig8_zipf_16_100 fig10_zipf_4_4; do
+  out="$OUT_DIR/${fig}_${stamp}.csv"
+  echo "== $fig -> $out"
+  : > "$out"
+  for idx in $INDICES; do
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/$fig" --index="$idx" $EXTRA_ARGS | { [ -s "$out" ] && tail -n +2 || cat; } >> "$out"
+  done
+done
+
+for abl in ablation_clock ablation_hash_index ablation_revision_size; do
+  out="$OUT_DIR/${abl}_${stamp}.csv"
+  echo "== $abl -> $out"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/$abl" $EXTRA_ARGS > "$out"
+done
+
+if [ -x "$BUILD_DIR/micro_components" ]; then
+  out="$OUT_DIR/micro_components_${stamp}.csv"
+  echo "== micro_components -> $out"
+  "$BUILD_DIR/micro_components" --benchmark_format=csv > "$out"
+fi
+
+echo "done: $(ls "$OUT_DIR" | grep -c "$stamp") files in $OUT_DIR/"

@@ -1,0 +1,100 @@
+// Uniform adapter layer between the figure harness and every index it
+// benchmarks. Each adapter exposes:
+//   bool put(k, v) / bool erase(k) / std::optional<V> get(k)
+//   void batch(std::vector<BatchOp<K,V>>)           (atomic where supported)
+//   std::size_t scan_n(from, n, f)                  (ordered visit)
+// See registry.h for which adapters are native and which still run on the
+// LockedMap stub.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/cslm.h"
+#include "baselines/locked_map.h"
+#include "baselines/registry.h"
+#include "core/jiffy.h"
+#include "workload/keyvalue.h"
+
+namespace jiffy {
+
+template <class K, class V>
+class JiffyAdapter {
+ public:
+  bool put(const K& k, const V& v) { return map_.put(k, v); }
+  bool erase(const K& k) { return map_.erase(k); }
+  std::optional<V> get(const K& k) const { return map_.get(k); }
+  void batch(std::vector<BatchOp<K, V>> ops) { map_.batch(std::move(ops)); }
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    return map_.scan_n(from, n, std::forward<F>(f));
+  }
+  JiffyMap<K, V>& underlying() { return map_; }
+
+ private:
+  JiffyMap<K, V> map_;
+};
+
+template <class K, class V>
+class CslmAdapter {
+ public:
+  bool put(const K& k, const V& v) { return map_.put(k, v); }
+  bool erase(const K& k) { return map_.erase(k); }
+  std::optional<V> get(const K& k) const { return map_.get(k); }
+  void batch(std::vector<BatchOp<K, V>> ops) { map_.batch(std::move(ops)); }
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    return map_.scan_n(from, n, std::forward<F>(f));
+  }
+
+ private:
+  baselines::CslmMap<K, V> map_;
+};
+
+// Stub adapters: distinct types (so the harness's per-index template
+// instantiations stay separate in profiles) over the LockedMap stand-in.
+// Replace one by giving it a real `map_` — the harness needs no change.
+template <class K, class V, class Tag>
+class StubAdapter {
+ public:
+  bool put(const K& k, const V& v) { return map_.put(k, v); }
+  bool erase(const K& k) { return map_.erase(k); }
+  std::optional<V> get(const K& k) const { return map_.get(k); }
+  void batch(std::vector<BatchOp<K, V>> ops) { map_.batch(std::move(ops)); }
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    return map_.scan_n(from, n, std::forward<F>(f));
+  }
+
+ private:
+  baselines::LockedMap<K, V> map_;
+};
+
+namespace baselines::tags {
+struct SnapTree {};
+struct Kary {};
+struct CaAvl {};
+struct CaSl {};
+struct CaImm {};
+struct Lfca {};
+struct Kiwi {};
+}  // namespace baselines::tags
+
+template <class K, class V>
+using SnapTreeAdapter = StubAdapter<K, V, baselines::tags::SnapTree>;
+template <class K, class V>
+using KaryAdapter = StubAdapter<K, V, baselines::tags::Kary>;
+template <class K, class V>
+using CaAvlAdapter = StubAdapter<K, V, baselines::tags::CaAvl>;
+template <class K, class V>
+using CaSlAdapter = StubAdapter<K, V, baselines::tags::CaSl>;
+template <class K, class V>
+using CaImmAdapter = StubAdapter<K, V, baselines::tags::CaImm>;
+template <class K, class V>
+using LfcaAdapter = StubAdapter<K, V, baselines::tags::Lfca>;
+template <class K, class V>
+using KiwiAdapter = StubAdapter<K, V, baselines::tags::Kiwi>;
+
+}  // namespace jiffy

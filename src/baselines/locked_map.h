@@ -1,0 +1,64 @@
+// Mutex-guarded std::map used as the stand-in implementation behind the
+// paper baselines that have not been ported yet (snaptree, k-ary, the CA
+// trees, lfca, kiwi). It is sequentially correct — including atomic batches
+// and consistent scans, both trivially, under the lock — but represents a
+// lower bound on concurrency, so its numbers are labelled as stubs by the
+// adapter registry and must not be read as the paper baselines' performance.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "workload/keyvalue.h"
+
+namespace jiffy::baselines {
+
+template <class K, class V, class Less = std::less<K>>
+class LockedMap {
+ public:
+  bool put(const K& k, const V& v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.insert_or_assign(k, v).second;
+  }
+
+  bool erase(const K& k) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.erase(k) > 0;
+  }
+
+  std::optional<V> get(const K& k) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void batch(std::vector<BatchOp<K, V>> ops) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& op : ops) {
+      if (op.kind == BatchOp<K, V>::Kind::kPut)
+        map_.insert_or_assign(op.key, op.value);
+      else
+        map_.erase(op.key);
+    }
+  }
+
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t emitted = 0;
+    for (auto it = map_.lower_bound(from); it != map_.end() && emitted < n;
+         ++it, ++emitted)
+      f(it->first, it->second);
+    return emitted;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<K, V, Less> map_;
+};
+
+}  // namespace jiffy::baselines

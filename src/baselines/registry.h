@@ -1,0 +1,58 @@
+// Compile-time registry of the benchmark indices (paper §4.1).
+//
+// `kind` records how honestly each adapter reproduces the paper baseline:
+//   kNative — a real implementation lives in this tree;
+//   kStub   — compiles and runs behind a LockedMap so every figure harness
+//             links today, but its rows measure the stub, not the paper's
+//             baseline. run_all.sh only sweeps native indices by default.
+// Porting order for the stubs is tracked in ROADMAP.md.
+#pragma once
+
+#include <cstddef>
+
+namespace jiffy::baselines {
+
+enum class AdapterKind { kNative, kStub };
+
+struct AdapterInfo {
+  const char* name;        // --index= spelling in the harness
+  const char* description;
+  AdapterKind kind;
+  bool atomic_batches;     // participates in the batch rows of the figures
+};
+
+inline constexpr AdapterInfo kAdapterRegistry[] = {
+    {"jiffy", "this tree's JiffyMap (paper's subject)", AdapterKind::kNative,
+     true},
+    {"cslm", "lock-free skip list, Herlihy-Shavit style (Java CSLM analogue)",
+     AdapterKind::kNative, false},
+    {"snaptree", "Bronson et al. snapshot AVL tree", AdapterKind::kStub,
+     false},
+    {"k-ary", "Brown-Helga lock-free k-ary search tree", AdapterKind::kStub,
+     false},
+    {"ca-avl", "contention-adapting AVL tree", AdapterKind::kStub, true},
+    {"ca-sl", "contention-adapting skip list", AdapterKind::kStub, true},
+    {"ca-imm", "CA tree with immutable leaf containers", AdapterKind::kStub,
+     false},
+    {"lfca", "lock-free contention-adapting search tree", AdapterKind::kStub,
+     false},
+    {"kiwi", "KiWi wait-free-scan key-value map", AdapterKind::kStub, false},
+};
+
+inline constexpr std::size_t kAdapterCount =
+    sizeof(kAdapterRegistry) / sizeof(kAdapterRegistry[0]);
+
+constexpr const AdapterInfo* adapter_info(const char* name) {
+  for (const AdapterInfo& a : kAdapterRegistry) {
+    const char* p = a.name;
+    const char* q = name;
+    while (*p && *q && *p == *q) {
+      ++p;
+      ++q;
+    }
+    if (*p == '\0' && *q == '\0') return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace jiffy::baselines

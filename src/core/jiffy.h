@@ -1,0 +1,1071 @@
+// Jiffy: a lock-free ordered map with fat-node revisions, batch updates and
+// snapshots (Kobus, Kokociński, Wojciechowski; PPoPP 2022).
+//
+// Layout (DESIGN.md has the full story):
+//   * The bottom level is a linked list of *fat nodes*; each node owns a key
+//     range [anchor, next->anchor) and points to an immutable Revision — a
+//     sorted array of entries plus an optional two-slot hash index (§3.3.5).
+//     A skip-list tower over the nodes (grown at node creation, never
+//     removed) gives O(log n) node location.
+//   * Every update builds a new revision and CASes the node's revision
+//     pointer; the replaced revision stays reachable through `prev`, forming
+//     a per-node version chain that snapshot readers walk.
+//   * Versions are timestamps (tsc/clock.h). A new revision is installed
+//     with a *pending* version and stamped right after the CAS; readers that
+//     meet a pending plain revision help stamp it. Node splits install every
+//     resulting revision under one shared VersionCell in a single CAS on the
+//     old node (the new right-hand nodes hang off the revision's `sibling`
+//     pointer until helped into the list), so a split is atomic.
+//   * Batch updates (§3.4) install one kBatch revision per affected node, in
+//     ascending key order, all sharing a VersionCell that is stamped only
+//     after the last install: the whole batch becomes visible atomically.
+//     Readers treat a pending batch revision as not-yet-linearized and read
+//     through `prev`; writers wait for the stamp (helping is future work).
+//   * Replaced revisions are retired through EBR *after* their successor is
+//     stamped; together with monotonic clock reads this guarantees a reader
+//     never follows `prev` into memory retired before its guard began.
+//   * Revision size is either fixed or driven by a time-weighted EMA of the
+//     read fraction (§3.3.6): small revisions for update-heavy phases, large
+//     ones for lookup-heavy phases.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ebr/ebr.h"
+#include "tsc/clock.h"
+#include "workload/keyvalue.h"
+#include "workload/rng.h"
+
+namespace jiffy {
+
+inline constexpr std::uint64_t kPendingVersion = ~0ull;
+
+enum class RevKind : std::uint8_t {
+  kPlain,     // single-key update (or split part)
+  kBatch,     // member of an atomic batch (§3.4)
+  kMerge,     // union revision absorbing the successor node (§3.3.6)
+  kAbsorbed,  // tombstone marker: this node's content moved to rev->home
+};
+
+// Fold an arbitrary std::hash result to the 16-bit tag the revision hash
+// index stores (std::hash<integral> is the identity, so mix here).
+inline std::uint16_t fold_hash16(std::size_t h) {
+  std::uint64_t x = h;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 29;
+  return static_cast<std::uint16_t>(x ^ (x >> 16));
+}
+
+// Shared version for multi-revision atomic installs (splits and batches).
+// `helpable` distinguishes splits (fully published by one CAS, so any reader
+// may stamp) from batches (multi-CAS; only the batch writer stamps).
+struct VersionCell {
+  std::atomic<std::uint64_t> version{kPendingVersion};
+  std::atomic<std::uint32_t> refs{0};
+  bool helpable = true;
+};
+
+template <class K, class V>
+struct JiffyNode;
+
+// An immutable sorted entry array; the unit of update and of multiversioned
+// reads. Published by a CAS on JiffyNode::rev and reclaimed through EBR once
+// unref'd (`link_refs` counts head pointers, not `prev` edges: a `prev` edge
+// may dangle after reclamation, but the version rule keeps readers off it).
+template <class K, class V>
+struct Revision {
+  using Entry = std::pair<K, V>;
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  RevKind kind = RevKind::kPlain;
+  std::atomic<std::uint64_t> version{kPendingVersion};
+  VersionCell* cell = nullptr;       // shared version (splits/batches/merges)
+  Revision* prev = nullptr;          // the revision this one replaced
+  JiffyNode<K, V>* sibling = nullptr;    // split: first new right-hand node
+  JiffyNode<K, V>* link_expect = nullptr;  // split: next[0] value to CAS from
+  JiffyNode<K, V>* home = nullptr;   // kAbsorbed: the node that absorbed us
+  std::atomic<std::uint32_t> link_refs{1};
+  std::uint32_t hmask = 0;           // hash bucket count - 1
+  std::vector<Entry> entries;        // sorted by key, unique
+  std::vector<std::uint32_t> hslots; // 2 slots/bucket: (tag16 << 16) | index
+  std::vector<std::uint64_t> hoverflow;  // per-bucket overflow bitmap
+
+  ~Revision() {
+    if (cell && cell->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete cell;
+  }
+
+  std::uint64_t version_now() const {
+    return cell ? cell->version.load(std::memory_order_seq_cst)
+                : version.load(std::memory_order_seq_cst);
+  }
+
+  // Stamp a pending version with `t`; loses to any concurrent stamp.
+  void stamp(std::uint64_t t) {
+    std::uint64_t expected = kPendingVersion;
+    if (cell)
+      cell->version.compare_exchange_strong(expected, t,
+                                            std::memory_order_seq_cst);
+    else
+      version.compare_exchange_strong(expected, t, std::memory_order_seq_cst);
+  }
+
+  // Readers may stamp only revisions whose publish completed at one CAS:
+  // plain single-rev installs, and split parts (their cell is marked
+  // helpable). Batch/merge cells stay writer-stamped — a reader-side stamp
+  // would linearize a multi-CAS operation before its installs finish.
+  bool reader_may_stamp() const {
+    if (cell) return cell->helpable;
+    return kind == RevKind::kPlain;
+  }
+
+  template <class Less>
+  const Entry* find_binary(const K& k, const Less& less) const {
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), k,
+        [&](const Entry& e, const K& key) { return less(e.first, key); });
+    if (it == entries.end() || less(k, it->first)) return nullptr;
+    return &*it;
+  }
+
+  // Hash-index lookup (§3.3.5): probe the key's two slots. An empty slot is
+  // a definitive miss (a key is only dropped from the table when its bucket
+  // is full), and so is a full bucket with no tag match unless that bucket
+  // overflowed during the build — only then fall back to binary search.
+  template <class Less>
+  const Entry* find(const K& k, std::uint16_t h16, const Less& less) const {
+    if (!hslots.empty()) {
+      const std::uint32_t bucket = static_cast<std::uint32_t>(h16) & hmask;
+      const std::uint32_t base = bucket * 2;
+      for (int s = 0; s < 2; ++s) {
+        const std::uint32_t slot = hslots[base + s];
+        if (slot == kEmptySlot) return nullptr;
+        if ((slot >> 16) == h16) {
+          const Entry& e = entries[slot & 0xFFFFu];
+          if (!less(e.first, k) && !less(k, e.first)) return &e;
+        }
+      }
+      if (!((hoverflow[bucket >> 6] >> (bucket & 63)) & 1)) return nullptr;
+    }
+    return find_binary(k, less);
+  }
+
+  static void unref(Revision* r, bool immediate = false) {
+    if (r->link_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (immediate)
+        delete r;
+      else
+        ebr::retire(r);
+    }
+  }
+};
+
+// Builds a revision from entries emitted in ascending key order, then seals
+// it (optionally constructing the hash index) in finish().
+template <class K, class V, class Hash = std::hash<K>>
+class RevisionBuilder {
+ public:
+  using Rev = Revision<K, V>;
+
+  RevisionBuilder(RevKind kind, std::uint32_t capacity,
+                  std::uint64_t version = kPendingVersion,
+                  bool hash_index = true)
+      : rev_(new Rev), hash_index_(hash_index) {
+    rev_->kind = kind;
+    rev_->version.store(version, std::memory_order_relaxed);
+    rev_->entries.reserve(capacity);
+  }
+
+  ~RevisionBuilder() { delete rev_; }
+
+  void emit(K k, V v) {
+    rev_->entries.emplace_back(std::move(k), std::move(v));
+  }
+
+  std::uint32_t count() const {
+    return static_cast<std::uint32_t>(rev_->entries.size());
+  }
+
+  Rev* finish() {
+    Rev* r = rev_;
+    rev_ = nullptr;
+    const std::size_t n = r->entries.size();
+    if (hash_index_ && n > 0 && n <= 0xFFFF) {
+      std::uint32_t buckets = 4;
+      while (buckets < n) buckets <<= 1;
+      r->hmask = buckets - 1;
+      r->hslots.assign(static_cast<std::size_t>(buckets) * 2,
+                       Rev::kEmptySlot);
+      r->hoverflow.assign((buckets + 63) / 64, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t tag = fold_hash16(Hash{}(r->entries[i].first));
+        const std::uint32_t bucket = static_cast<std::uint32_t>(tag) & r->hmask;
+        const std::uint32_t base = bucket * 2;
+        if (r->hslots[base] == Rev::kEmptySlot)
+          r->hslots[base] = (static_cast<std::uint32_t>(tag) << 16) | i;
+        else if (r->hslots[base + 1] == Rev::kEmptySlot)
+          r->hslots[base + 1] = (static_cast<std::uint32_t>(tag) << 16) | i;
+        else {
+          // Bucket full: this key is findable only by binary search; mark
+          // the bucket so only its misses pay the fallback.
+          r->hoverflow[bucket >> 6] |= 1ull << (bucket & 63);
+        }
+      }
+    }
+    return r;
+  }
+
+ private:
+  Rev* rev_;
+  bool hash_index_;
+};
+
+// A fat node: a key range plus the head of its revision chain. `next[0]` is
+// the bottom-level list; higher next slots form the search tower. Nodes are
+// never removed, so towers need no marks. (The paper's backward links, for
+// reverse scans, are deferred until a consumer lands — see ROADMAP.)
+template <class K, class V>
+struct JiffyNode {
+  static constexpr int kMaxHeight = 20;
+
+  const int height;
+  const bool is_head;
+  const K anchor;
+  std::atomic<std::uint64_t> birth{kPendingVersion};
+  std::atomic<Revision<K, V>*> rev{nullptr};
+  std::vector<std::atomic<JiffyNode*>> next;
+
+  JiffyNode(int h, bool head, K a)
+      : height(h), is_head(head), anchor(std::move(a)), next(h) {}
+};
+
+struct JiffyConfig {
+  struct Autoscaler {
+    bool enabled = true;
+    std::uint32_t fixed_size = 128;  // revision size cap when disabled
+    std::uint32_t min_size = 48;     // target at 0% reads
+    std::uint32_t max_size = 224;    // target at 100% reads
+    double tau_s = 0.5;              // EMA time constant (paper: ~1-10 s
+                                     // adjustment; scaled to small runs)
+    double interval_s = 0.05;        // min recompute interval
+  } autoscaler;
+  bool hash_index = true;
+};
+
+// Time-weighted EMA of the read fraction driving the revision-size target
+// (§3.3.6). Ops are sampled 1-in-16 through a thread-local counter so the
+// shared counters are off the per-op fast path.
+class RevisionAutoscaler {
+ public:
+  explicit RevisionAutoscaler(const JiffyConfig::Autoscaler& cfg)
+      : cfg_(cfg) {
+    target_.store(cfg_.enabled ? (cfg_.min_size + cfg_.max_size) / 2
+                               : cfg_.fixed_size,
+                  std::memory_order_relaxed);
+    ema_.store(0.5, std::memory_order_relaxed);
+    last_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  std::uint32_t target() const {
+    return target_.load(std::memory_order_relaxed);
+  }
+
+  double read_fraction_ema() const {
+    return ema_.load(std::memory_order_relaxed);
+  }
+
+  void note(bool is_read, std::uint64_t weight = 1) {
+    if (!cfg_.enabled) return;
+    thread_local std::uint32_t tick = 0;
+    if ((tick++ & 15u) != 0 && weight == 1) return;
+    const std::uint64_t w = weight == 1 ? 16 : weight;
+    (is_read ? reads_ : writes_).fetch_add(w, std::memory_order_relaxed);
+    maybe_update();
+  }
+
+ private:
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void maybe_update() {
+    const std::uint64_t now = now_ns();
+    std::uint64_t last = last_ns_.load(std::memory_order_relaxed);
+    const auto interval_ns =
+        static_cast<std::uint64_t>(cfg_.interval_s * 1e9);
+    if (now - last < interval_ns) return;
+    if (!last_ns_.compare_exchange_strong(last, now,
+                                          std::memory_order_relaxed))
+      return;  // someone else owns this update window
+    const std::uint64_t r = reads_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t w = writes_.exchange(0, std::memory_order_relaxed);
+    if (r + w == 0) return;
+    const double rf = static_cast<double>(r) / static_cast<double>(r + w);
+    const double dt = static_cast<double>(now - last) * 1e-9;
+    const double alpha = 1.0 - std::exp(-dt / cfg_.tau_s);
+    double ema = ema_.load(std::memory_order_relaxed);
+    ema += alpha * (rf - ema);
+    ema_.store(ema, std::memory_order_relaxed);
+    const double t = cfg_.min_size + ema * (cfg_.max_size - cfg_.min_size);
+    target_.store(static_cast<std::uint32_t>(t + 0.5),
+                  std::memory_order_relaxed);
+  }
+
+  JiffyConfig::Autoscaler cfg_;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> last_ns_{0};
+  std::atomic<double> ema_{0.5};
+  std::atomic<std::uint32_t> target_{128};
+};
+
+template <class MapT>
+class Snapshot;
+
+template <class K, class V, class Less = std::less<K>,
+          class Hash = std::hash<K>, class Clock = TscClock>
+class JiffyMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using Rev = Revision<K, V>;
+  using Node = JiffyNode<K, V>;
+  using Entry = typename Rev::Entry;
+  using SnapshotT = Snapshot<JiffyMap>;
+
+  JiffyMap() : JiffyMap(JiffyConfig{}) {}
+
+  explicit JiffyMap(const JiffyConfig& cfg)
+      : cfg_(cfg), scaler_(cfg.autoscaler) {
+    head_ = new Node(Node::kMaxHeight, /*head=*/true, K{});
+    RevisionBuilder<K, V, Hash> b(RevKind::kPlain, 0, /*version=*/0,
+                                  cfg_.hash_index);
+    head_->rev.store(b.finish(), std::memory_order_release);
+    head_->birth.store(0, std::memory_order_release);
+  }
+
+  ~JiffyMap() {
+    Node* x = head_;
+    while (x) {
+      Rev* r = x->rev.load(std::memory_order_relaxed);
+      Node* nxt = x->next[0].load(std::memory_order_relaxed);
+      Rev::unref(r, /*immediate=*/true);
+      delete x;
+      x = nxt;
+    }
+    ebr::quiesce();
+  }
+
+  JiffyMap(const JiffyMap&) = delete;
+  JiffyMap& operator=(const JiffyMap&) = delete;
+
+  // ---- single-key operations ----------------------------------------------
+
+  // Insert or overwrite. Returns true if the key was newly inserted.
+  bool put(const K& k, const V& v) {
+    scaler_.note(/*is_read=*/false);
+    ebr::Guard g;
+    for (;;) {
+      auto [x, r] = locate(k);
+      if (wait_writable(x, r) != r) continue;  // head moved: re-route
+      if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
+      const Entry* hit = r->find_binary(k, less_);
+      const std::uint32_t n = static_cast<std::uint32_t>(r->entries.size());
+      const std::uint32_t newn = hit ? n : n + 1;
+      const std::uint32_t maxsz = effective_max_size();
+      if (newn > maxsz && newn >= 4) {
+        if (install_split(x, r, &k, &v)) return !hit;
+        continue;
+      }
+      RevisionBuilder<K, V, Hash> b(RevKind::kPlain, newn, kPendingVersion,
+                                    cfg_.hash_index);
+      bool placed = false;
+      for (const Entry& e : r->entries) {
+        if (!placed && less_(k, e.first)) {
+          b.emit(k, v);
+          placed = true;
+        }
+        if (!placed && !less_(e.first, k)) {  // e.first == k: overwrite
+          b.emit(k, v);
+          placed = true;
+          continue;
+        }
+        b.emit(e.first, e.second);
+      }
+      if (!placed) b.emit(k, v);  // k after all entries
+      Rev* nr = b.finish();
+      nr->prev = r;
+      if (install_plain(x, r, nr)) {
+        maybe_merge(x);
+        return !hit;
+      }
+      Rev::unref(nr, /*immediate=*/true);
+    }
+  }
+
+  // Remove. Returns true if the key was present.
+  bool erase(const K& k) {
+    scaler_.note(/*is_read=*/false);
+    ebr::Guard g;
+    for (;;) {
+      auto [x, r] = locate(k);
+      if (wait_writable(x, r) != r) continue;  // head moved: re-route
+      if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
+      if (!r->find_binary(k, less_)) return false;
+      RevisionBuilder<K, V, Hash> b(
+          RevKind::kPlain, static_cast<std::uint32_t>(r->entries.size()) - 1,
+          kPendingVersion, cfg_.hash_index);
+      for (const Entry& e : r->entries)
+        if (less_(e.first, k) || less_(k, e.first)) b.emit(e.first, e.second);
+      Rev* nr = b.finish();
+      nr->prev = r;
+      if (install_plain(x, r, nr)) {
+        maybe_merge(x);
+        return true;
+      }
+      Rev::unref(nr, /*immediate=*/true);
+    }
+  }
+
+  std::optional<V> get(const K& k) const {
+    scaler_.note(/*is_read=*/true);
+    ebr::Guard g;
+    for (;;) {
+      auto [x, r] = locate(k);
+      // A pending batch/merge revision is not linearized yet: read the
+      // state before it through prev (its predecessor is always stamped).
+      while (r && r->kind != RevKind::kPlain &&
+             r->version_now() == kPendingVersion)
+        r = r->prev;
+      if (!r) return std::nullopt;
+      // locate() may hand us a merge marker that was pending then and got
+      // stamped since: the merge committed and k now lives in the absorber,
+      // so re-route rather than miss on the marker's empty array.
+      if (r->kind == RevKind::kAbsorbed) continue;
+      // Help stamp a pending plain head before returning its contents:
+      // otherwise a snapshot taken after this get could be versioned below
+      // the (late) stamp and miss a value the get already observed.
+      if (r->version_now() == kPendingVersion && r->reader_may_stamp())
+        r->stamp(clock_.read());
+      const Entry* e = r->find(k, fold_hash16(hash_(k)), less_);
+      if (!e) return std::nullopt;
+      return e->second;
+    }
+  }
+
+  bool contains(const K& k) const { return get(k).has_value(); }
+
+  // ---- batch updates (§3.4) -----------------------------------------------
+
+  // Apply all operations atomically: a concurrent reader observes either
+  // none or all of them (per-key last-wins within the batch).
+  void batch(std::vector<BatchOp<K, V>> ops) {
+    if (ops.empty()) return;
+    scaler_.note(/*is_read=*/false, ops.size());
+    std::stable_sort(ops.begin(), ops.end(),
+                     [&](const BatchOp<K, V>& a, const BatchOp<K, V>& b) {
+                       return less_(a.key, b.key);
+                     });
+    // Last-wins dedupe: keep the final op for each key.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (i + 1 < ops.size() && !less_(ops[i].key, ops[i + 1].key) &&
+          !less_(ops[i + 1].key, ops[i].key))
+        continue;
+      ops[w++] = std::move(ops[i]);
+    }
+    ops.resize(w);
+
+    ebr::Guard g;
+    auto* cell = new VersionCell;
+    cell->helpable = false;
+    // The writer holds its own reference: a failed install CAS destroys the
+    // discarded revision, and without this the destructor could free the
+    // cell out from under the rest of the batch.
+    cell->refs.store(1, std::memory_order_relaxed);
+    std::vector<Rev*> replaced;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      auto [x, r] = locate(ops[i].key);
+      // With tombstones in the list a later group can re-route to a node we
+      // already installed into (our pending revision still heads it). Build
+      // on top of our own revision — both share the cell, so they linearize
+      // together — instead of waiting on ourselves.
+      if (r->cell != cell) {
+        if (wait_writable(x, r) != r) continue;  // head moved: re-route
+        if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
+      }
+      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
+      // The group [i, j) is every op routed to x's range. Installs proceed
+      // in ascending key order, so two overlapping batches cannot wait on
+      // each other's pending revisions in a cycle.
+      std::size_t j = i + 1;
+      while (j < ops.size() && (!nxt || less_(ops[j].key, nxt->anchor))) ++j;
+      Rev* nr = build_batch_rev(r, ops, i, j, cell);
+      if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
+        Rev::unref(nr, /*immediate=*/true);
+        continue;  // lost the race: re-locate this group
+      }
+      replaced.push_back(r);
+      i = j;
+    }
+    std::uint64_t expected = kPendingVersion;
+    cell->version.compare_exchange_strong(expected, clock_.read(),
+                                          std::memory_order_seq_cst);
+    for (Rev* old : replaced) Rev::unref(old);
+    release_cell(cell);
+  }
+
+  // ---- scans and snapshots ------------------------------------------------
+
+  // Visit up to `n` entries with key >= from, in order, at one consistent
+  // version. Returns the number visited.
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    scaler_.note(/*is_read=*/true, n ? n : 1);
+    ebr::Guard g;
+    const std::uint64_t v = clock_.read();
+    return scan_at(from, n, v, std::forward<F>(f));
+  }
+
+  SnapshotT snapshot() const { return SnapshotT(this); }
+
+  // ---- introspection ------------------------------------------------------
+
+  struct DebugStats {
+    double avg_revision_size = 0;
+    std::size_t node_count = 0;
+    std::size_t entry_count = 0;
+    std::uint32_t target_revision_size = 0;
+    double read_fraction_ema = 0;
+  };
+
+  DebugStats debug_stats() const {
+    ebr::Guard g;
+    DebugStats s;
+    s.target_revision_size = effective_max_size();
+    s.read_fraction_ema = scaler_.read_fraction_ema();
+    for (Node* x = head_; x;) {
+      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      if (r->sibling) ensure_link(x, r);
+      if (r->kind != RevKind::kAbsorbed &&
+          (!x->is_head || !r->entries.empty())) {
+        ++s.node_count;
+        s.entry_count += r->entries.size();
+      }
+      x = x->next[0].load(std::memory_order_seq_cst);
+    }
+    if (s.node_count)
+      s.avg_revision_size = static_cast<double>(s.entry_count) /
+                            static_cast<double>(s.node_count);
+    return s;
+  }
+
+  std::size_t size_slow() const {
+    ebr::Guard g;
+    std::size_t n = 0;
+    for (Node* x = head_; x;) {
+      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      if (r->sibling) ensure_link(x, r);
+      n += r->entries.size();
+      x = x->next[0].load(std::memory_order_seq_cst);
+    }
+    return n;
+  }
+
+ private:
+  friend class Snapshot<JiffyMap>;
+
+  // ---- location -----------------------------------------------------------
+
+  // Complete a pending split link: swing x->next[0] from the pre-split
+  // successor to the first new sibling (exactly-once by CAS from the
+  // recorded expected value; the chain of new nodes was pre-linked).
+  void ensure_link(Node* x, Rev* r) const {
+    Node* expect = r->link_expect;
+    x->next[0].compare_exchange_strong(expect, r->sibling,
+                                       std::memory_order_seq_cst);
+  }
+
+  // Level-0 node owning k under current routing, plus the revision used for
+  // the routing decision (callers CAS against it, so stale reads retry).
+  // Absorbed tombstones are skipped: their content lives in the nearest live
+  // node to the left, which is exactly the node this walk remembers.
+  std::pair<Node*, Rev*> locate(const K& k) const {
+    for (;;) {
+      Node* x = head_;
+      for (int l = Node::kMaxHeight - 1; l >= 1; --l) {
+        for (Node* nxt = x->next[l].load(std::memory_order_acquire);
+             nxt && !less_(k, nxt->anchor);
+             nxt = x->next[l].load(std::memory_order_acquire))
+          x = nxt;
+      }
+      // A node counts as dead only once its marker is STAMPED (merge
+      // committed). A pending marker may still be rolled back, so its node
+      // must keep owning its range; writers routed there wait the marker
+      // out in wait_writable and re-route if the merge commits.
+      auto dead = [](Rev* r) {
+        return r->kind == RevKind::kAbsorbed &&
+               r->version_now() != kPendingVersion;
+      };
+      // The tower may land on a tombstone; hop left to its absorber (each
+      // hop goes strictly left, so this terminates).
+      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      while (dead(r)) {
+        x = r->home;
+        r = x->rev.load(std::memory_order_seq_cst);
+      }
+      if (r->sibling) ensure_link(x, r);
+      Node* live = x;
+      for (Node* cur = live->next[0].load(std::memory_order_seq_cst);
+           cur && !less_(k, cur->anchor);
+           cur = cur->next[0].load(std::memory_order_seq_cst)) {
+        Rev* rc = cur->rev.load(std::memory_order_seq_cst);
+        if (rc->sibling) ensure_link(cur, rc);
+        if (!dead(rc)) live = cur;
+      }
+      // Re-read the chosen head: if the node died or split since we passed
+      // it, the routing decision may be stale — retry from the top.
+      Rev* now = live->rev.load(std::memory_order_seq_cst);
+      if (dead(now)) continue;
+      if (now->sibling) {
+        ensure_link(live, now);
+        Node* nxt = live->next[0].load(std::memory_order_seq_cst);
+        if (nxt && !less_(k, nxt->anchor)) continue;  // sibling owns k
+      }
+      return {live, now};
+    }
+  }
+
+  // Writers must start from a stamped, non-batch-pending head revision:
+  // waiting out a pending batch keeps batch atomicity (a successor built
+  // from an unstamped batch revision would leak it early), and stamping a
+  // pending plain head keeps per-node version chains monotonic. Returns the
+  // current head so the caller can detect that routing went stale and
+  // re-locate.
+  Rev* wait_writable(Node* x, Rev* r) const {
+    for (;;) {
+      if (r->version_now() != kPendingVersion)
+        return x->rev.load(std::memory_order_seq_cst);
+      if (r->reader_may_stamp()) {
+        r->stamp(clock_.read());
+        continue;
+      }
+      // Pending batch/merge: wait for its stamp, but keep re-reading the
+      // head — an aborted merge replaces its marker without ever stamping
+      // it, and spinning on the dead revision alone would hang.
+      Rev* cur = x->rev.load(std::memory_order_seq_cst);
+      if (cur != r) return cur;
+      cpu_relax();
+    }
+  }
+
+  // ---- installs -----------------------------------------------------------
+
+  bool install_plain(Node* x, Rev* r, Rev* nr) {
+    if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst))
+      return false;
+    nr->stamp(clock_.read());
+    Rev::unref(r);  // retire strictly after the successor's stamp
+    return true;
+  }
+
+  // Split x's content (plus the pending put of *k, if any) into parts of at
+  // most max size: part 0 replaces x's revision, the rest become new nodes
+  // published atomically through the revision's sibling pointer.
+  bool install_split(Node* x, Rev* r, const K* k, const V* v) {
+    std::vector<Entry> merged;
+    merged.reserve(r->entries.size() + 1);
+    bool placed = (k == nullptr);
+    for (const Entry& e : r->entries) {
+      if (!placed && less_(*k, e.first)) {
+        merged.emplace_back(*k, *v);
+        placed = true;
+      }
+      if (!placed && !less_(e.first, *k)) {  // equal: overwrite
+        merged.emplace_back(*k, *v);
+        placed = true;
+        continue;
+      }
+      merged.push_back(e);
+    }
+    if (!placed) merged.emplace_back(*k, *v);
+
+    const std::uint32_t total = static_cast<std::uint32_t>(merged.size());
+    const std::uint32_t maxsz = std::max<std::uint32_t>(effective_max_size(), 2);
+    std::uint32_t nparts = (total + maxsz - 1) / maxsz;
+    if (nparts < 2) nparts = 2;
+    const std::uint32_t per = total / nparts;
+    const std::uint32_t rem = total % nparts;
+
+    auto* cell = new VersionCell;  // helpable: one CAS publishes everything
+    Node* old_next = x->next[0].load(std::memory_order_seq_cst);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parts;  // [lo, hi)
+    // Append pattern (ascending bulk load): an even split would leave a
+    // trail of half-full revisions behind the insertion front. Split
+    // asymmetrically instead — keep the left part ~7/8 full — so loaded
+    // ranges stay dense.
+    if (k && nparts == 2 && !r->entries.empty() &&
+        less_(r->entries.back().first, *k)) {
+      const std::uint32_t left =
+          std::min<std::uint32_t>(total - 1, (maxsz / 8) * 7);
+      if (left > 0 && total - left <= maxsz) {
+        parts.emplace_back(0, left);
+        parts.emplace_back(left, total);
+      }
+    }
+    if (parts.empty()) {
+      std::uint32_t lo = 0;
+      for (std::uint32_t p = 0; p < nparts; ++p) {
+        const std::uint32_t sz = per + (p < rem ? 1 : 0);
+        parts.emplace_back(lo, lo + sz);
+        lo += sz;
+      }
+    }
+    nparts = static_cast<std::uint32_t>(parts.size());
+    Node* chain = old_next;
+    std::vector<Node*> new_nodes;
+    for (std::uint32_t p = nparts; p-- > 1;) {
+      auto [plo, phi] = parts[p];
+      RevisionBuilder<K, V, Hash> b(RevKind::kPlain, phi - plo,
+                                    kPendingVersion, cfg_.hash_index);
+      for (std::uint32_t e = plo; e < phi; ++e)
+        b.emit(merged[e].first, merged[e].second);
+      Rev* rp = b.finish();
+      rp->cell = cell;
+      cell->refs.fetch_add(1, std::memory_order_relaxed);
+      auto* m = new Node(random_height(), /*head=*/false, merged[plo].first);
+      m->rev.store(rp, std::memory_order_relaxed);
+      m->next[0].store(chain, std::memory_order_relaxed);
+      chain = m;
+      new_nodes.push_back(m);
+    }
+    RevisionBuilder<K, V, Hash> b0(RevKind::kPlain, parts[0].second,
+                                   kPendingVersion, cfg_.hash_index);
+    for (std::uint32_t e = parts[0].first; e < parts[0].second; ++e)
+      b0.emit(merged[e].first, merged[e].second);
+    Rev* rlow = b0.finish();
+    rlow->cell = cell;
+    cell->refs.fetch_add(1, std::memory_order_relaxed);
+    rlow->prev = r;
+    rlow->sibling = chain;
+    rlow->link_expect = old_next;
+
+    if (!x->rev.compare_exchange_strong(r, rlow, std::memory_order_seq_cst)) {
+      for (Node* m : new_nodes) {
+        Rev::unref(m->rev.load(std::memory_order_relaxed), true);
+        delete m;
+      }
+      Rev::unref(rlow, /*immediate=*/true);  // last cell unref frees it
+      return false;
+    }
+    ensure_link(x, rlow);
+    rlow->stamp(clock_.read());
+    const std::uint64_t b_v = cell->version.load(std::memory_order_seq_cst);
+    for (Node* m : new_nodes) {
+      m->birth.store(b_v, std::memory_order_seq_cst);
+      index_insert(m);
+    }
+    Rev::unref(r);
+    return true;
+  }
+
+  // Autoscaler growth path (§3.3.6): when x plus its successor together fit
+  // comfortably under the target, absorb the successor. Two installs under
+  // one shared VersionCell — an kAbsorbed tombstone at s and a kMerge union
+  // at x — stamped once, so readers see the merge atomically. Entirely
+  // opportunistic: any interference aborts (with a rollback of the marker
+  // if only the first CAS had landed) rather than waiting, which keeps the
+  // ascending-order no-deadlock argument for batches intact. The dead node
+  // stays in the list as a tombstone: routing skips it and old snapshots
+  // still reach its pre-merge chain through the marker's prev. Physical
+  // unlink (and tower cleanup) needs oldest-active-snapshot tracking and is
+  // left on the roadmap.
+  void maybe_merge(Node* x) {
+    const std::uint32_t target = effective_max_size();
+    Rev* rx = x->rev.load(std::memory_order_seq_cst);
+    if (rx->kind == RevKind::kAbsorbed || rx->sibling ||
+        rx->version_now() == kPendingVersion)
+      return;
+    Node* s = x->next[0].load(std::memory_order_seq_cst);
+    if (!s) return;
+    Rev* rs = s->rev.load(std::memory_order_seq_cst);
+    if (rs->kind == RevKind::kAbsorbed ||
+        rs->version_now() == kPendingVersion)
+      return;
+    if (rs->sibling) ensure_link(s, rs);
+    const std::size_t combined = rx->entries.size() + rs->entries.size();
+    if (combined == 0 || combined > (target * 7) / 10 || combined > 0xFFFF)
+      return;
+
+    auto* cell = new VersionCell;
+    cell->helpable = false;
+    cell->refs.store(1, std::memory_order_relaxed);  // writer's reference
+
+    auto* marker = new Rev;
+    marker->kind = RevKind::kAbsorbed;
+    marker->cell = cell;
+    cell->refs.fetch_add(1, std::memory_order_relaxed);
+    marker->prev = rs;
+    marker->home = x;
+
+    RevisionBuilder<K, V, Hash> b(RevKind::kMerge,
+                                  static_cast<std::uint32_t>(combined),
+                                  kPendingVersion, cfg_.hash_index);
+    for (const Entry& e : rx->entries) b.emit(e.first, e.second);
+    for (const Entry& e : rs->entries) b.emit(e.first, e.second);
+    Rev* merged = b.finish();
+    merged->cell = cell;
+    cell->refs.fetch_add(1, std::memory_order_relaxed);
+    merged->prev = rx;
+
+    Rev* expect = rs;
+    if (!s->rev.compare_exchange_strong(expect, marker,
+                                        std::memory_order_seq_cst)) {
+      Rev::unref(marker, /*immediate=*/true);
+      Rev::unref(merged, /*immediate=*/true);
+      release_cell(cell);
+      return;
+    }
+    expect = rx;
+    if (!x->rev.compare_exchange_strong(expect, merged,
+                                        std::memory_order_seq_cst)) {
+      // x changed under us: undo s by restoring its content over the
+      // marker. Nobody else replaces a pending marker (writers spin on it,
+      // other merges skip pending heads), so this CAS cannot fail.
+      RevisionBuilder<K, V, Hash> rb(
+          RevKind::kPlain, static_cast<std::uint32_t>(rs->entries.size()),
+          kPendingVersion, cfg_.hash_index);
+      for (const Entry& e : rs->entries) rb.emit(e.first, e.second);
+      Rev* restore = rb.finish();
+      restore->prev = marker;
+      Rev* fe = marker;
+      const bool restored = s->rev.compare_exchange_strong(
+          fe, restore, std::memory_order_seq_cst);
+      assert(restored);
+      (void)restored;
+      restore->stamp(clock_.read());
+      Rev::unref(rs);     // retire strictly after the restore's stamp
+      Rev::unref(marker);  // now chain-only; never stamped, always skipped
+      Rev::unref(merged, /*immediate=*/true);
+      release_cell(cell);
+      return;
+    }
+    merged->stamp(clock_.read());  // one stamp publishes both sides
+    Rev::unref(rx);
+    Rev::unref(rs);
+    release_cell(cell);
+  }
+
+  static void release_cell(VersionCell* c) {
+    if (c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete c;
+  }
+
+  Rev* build_batch_rev(Rev* r, const std::vector<BatchOp<K, V>>& ops,
+                       std::size_t i, std::size_t j, VersionCell* cell) {
+    RevisionBuilder<K, V, Hash> b(
+        RevKind::kBatch,
+        static_cast<std::uint32_t>(r->entries.size() + (j - i)),
+        kPendingVersion, cfg_.hash_index);
+    auto it = r->entries.begin();
+    const auto end = r->entries.end();
+    for (std::size_t o = i; o < j; ++o) {
+      while (it != end && less_(it->first, ops[o].key)) {
+        b.emit(it->first, it->second);
+        ++it;
+      }
+      const bool exists =
+          it != end && !less_(ops[o].key, it->first);  // it->first == key
+      if (exists) ++it;
+      if (ops[o].kind == BatchOp<K, V>::Kind::kPut)
+        b.emit(ops[o].key, ops[o].value);
+    }
+    while (it != end) {
+      b.emit(it->first, it->second);
+      ++it;
+    }
+    Rev* nr = b.finish();
+    nr->cell = cell;
+    cell->refs.fetch_add(1, std::memory_order_relaxed);
+    nr->prev = r;
+    return nr;
+  }
+
+  // ---- versioned reads ----------------------------------------------------
+
+  // Newest revision in r's chain with version <= v. Helps stamp pending
+  // plain revisions (required for reclamation safety, see DESIGN.md §5);
+  // pending batch revisions are not yet linearized and are skipped.
+  Rev* visible_rev(Rev* r, std::uint64_t v) const {
+    while (r) {
+      std::uint64_t t = r->version_now();
+      if (t == kPendingVersion && r->reader_may_stamp()) {
+        r->stamp(clock_.read());
+        t = r->version_now();
+      }
+      if (t <= v) return r;  // pending (== ~0) is never <= v
+      r = r->prev;
+    }
+    return nullptr;
+  }
+
+  // Last node with anchor <= from that held its range at version v: born at
+  // or before v (conservative: a node whose birth stamp is still propagating
+  // is treated as too new, which only moves the scan start left, never loses
+  // entries) and not yet absorbed at v (a node dead at v moved its content
+  // into a node further left — starting at the tombstone would skip it).
+  Node* position(const K& from, std::uint64_t v) const {
+    auto held_range_at = [&](Node* n) {
+      if (n->birth.load(std::memory_order_seq_cst) > v) return false;
+      Rev* r = n->rev.load(std::memory_order_seq_cst);
+      return !(r->kind == RevKind::kAbsorbed && r->version_now() <= v);
+    };
+    Node* x = head_;
+    for (int l = Node::kMaxHeight - 1; l >= 1; --l) {
+      for (Node* nxt = x->next[l].load(std::memory_order_acquire);
+           nxt && !less_(from, nxt->anchor) && held_range_at(nxt);
+           nxt = x->next[l].load(std::memory_order_acquire))
+        x = nxt;
+    }
+    Node* best = x;
+    for (Node* cur = x->next[0].load(std::memory_order_seq_cst);
+         cur && !less_(from, cur->anchor);
+         cur = cur->next[0].load(std::memory_order_seq_cst)) {
+      Rev* r = cur->rev.load(std::memory_order_seq_cst);
+      if (r->sibling) ensure_link(cur, r);
+      if (held_range_at(cur)) best = cur;
+    }
+    return best;
+  }
+
+  // Consistent ordered visit of up to n entries >= from at version v.
+  // Split overlap (an old full revision plus a sibling's copy visible in the
+  // same window) is deduplicated by requiring strictly increasing keys.
+  template <class F>
+  std::size_t scan_at(const K& from, std::size_t n, std::uint64_t v,
+                      F&& f) const {
+    std::size_t emitted = 0;
+    const K* last = nullptr;
+    for (Node* x = position(from, v); x && emitted < n;) {
+      Rev* head = x->rev.load(std::memory_order_seq_cst);
+      if (head->sibling) ensure_link(x, head);
+      if (Rev* r = visible_rev(head, v)) {
+        auto it = std::lower_bound(
+            r->entries.begin(), r->entries.end(), from,
+            [&](const Entry& e, const K& key) { return less_(e.first, key); });
+        for (; it != r->entries.end() && emitted < n; ++it) {
+          if (last && !less_(*last, it->first)) continue;
+          f(it->first, it->second);
+          last = &it->first;
+          ++emitted;
+        }
+      }
+      x = x->next[0].load(std::memory_order_seq_cst);
+    }
+    return emitted;
+  }
+
+  std::optional<V> get_at(const K& k, std::uint64_t v) const {
+    std::optional<V> out;
+    scan_at(k, 1, v, [&](const K& key, const V& val) {
+      if (!less_(k, key) && !less_(key, k)) out = val;
+    });
+    return out;
+  }
+
+  // ---- misc ---------------------------------------------------------------
+
+  std::uint32_t effective_max_size() const {
+    const std::uint32_t t = cfg_.autoscaler.enabled
+                                ? scaler_.target()
+                                : cfg_.autoscaler.fixed_size;
+    return t < 2 ? 2 : t;
+  }
+
+  static int random_height() {
+    thread_local std::uint64_t state =
+        splitmix64(reinterpret_cast<std::uintptr_t>(&state) ^ 0xA5A5A5A5ull);
+    state = splitmix64(state);
+    int h = 1;
+    std::uint64_t x = state;
+    while ((x & 3) == 0 && h < Node::kMaxHeight) {  // p = 1/4
+      ++h;
+      x >>= 2;
+    }
+    return h;
+  }
+
+  // Link a freshly split node into tower levels 1..height-1. Only its
+  // creator calls this; towers are insert-only so a plain CAS per level
+  // suffices.
+  void index_insert(Node* m) {
+    for (int l = 1; l < m->height; ++l) {
+      for (;;) {
+        Node* pred = head_;
+        for (int dl = Node::kMaxHeight - 1; dl >= l; --dl) {
+          for (Node* nxt = pred->next[dl].load(std::memory_order_acquire);
+               nxt && less_(nxt->anchor, m->anchor);
+               nxt = pred->next[dl].load(std::memory_order_acquire))
+            pred = nxt;
+        }
+        Node* succ = pred->next[l].load(std::memory_order_acquire);
+        if (succ == m) break;
+        m->next[l].store(succ, std::memory_order_relaxed);
+        if (pred->next[l].compare_exchange_strong(
+                succ, m, std::memory_order_seq_cst))
+          break;
+      }
+    }
+  }
+
+  JiffyConfig cfg_;
+  Less less_{};
+  Hash hash_{};
+  Clock clock_{};
+  mutable RevisionAutoscaler scaler_;
+  Node* head_;
+};
+
+// A consistent point-in-time view. Holds an EBR guard for its lifetime, so
+// the revision chains backing `version()` stay reachable; keep snapshots
+// short-lived or expect retired garbage to accumulate.
+template <class MapT>
+class Snapshot {
+ public:
+  explicit Snapshot(const MapT* m)
+      : map_(m), version_(m->clock_.read()) {}
+
+  std::uint64_t version() const { return version_; }
+
+  std::optional<typename MapT::mapped_type> get(
+      const typename MapT::key_type& k) const {
+    return map_->get_at(k, version_);
+  }
+
+  template <class F>
+  std::size_t scan_n(const typename MapT::key_type& from, std::size_t n,
+                     F&& f) const {
+    return map_->scan_at(from, n, version_, std::forward<F>(f));
+  }
+
+ private:
+  const MapT* map_;
+  ebr::Guard guard_;
+  std::uint64_t version_;
+};
+
+}  // namespace jiffy

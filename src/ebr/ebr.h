@@ -1,0 +1,185 @@
+// Epoch-based reclamation (EBR) for lock-free readers.
+//
+// Classic three-epoch scheme: threads pin the global epoch while inside a
+// Guard; retired objects are tagged with the epoch they were retired in and
+// freed once the global epoch has advanced twice past it (no pinned thread
+// can still hold a reference by then). Thread records are registered lazily,
+// recycled after thread exit, and never removed, so registration is
+// wait-free after the first call and safe for the short-lived worker threads
+// the bench harness spawns per cell.
+//
+// Memory-order note: guard entry publishes the pinned epoch with seq_cst and
+// epoch bookkeeping is seq_cst throughout. Jiffy's snapshot-safety argument
+// (DESIGN.md §5) leans on this total order: a reader whose guard began after
+// an object was retired is guaranteed to observe every store the retiring
+// thread made before the retire (in particular version stamps), so it never
+// walks a revision chain into memory it is not protecting.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jiffy::ebr {
+
+namespace detail {
+
+inline constexpr std::uint64_t kIdleEpoch = ~0ull;
+
+struct Retired {
+  void* ptr;
+  void (*deleter)(void*);
+};
+
+struct ThreadRec {
+  // Epoch this thread is pinned at; kIdleEpoch when not inside a guard.
+  std::atomic<std::uint64_t> pinned{kIdleEpoch};
+  std::atomic<int> nest{0};
+  std::atomic<bool> in_use{true};
+  ThreadRec* next = nullptr;  // immutable after registration
+  // Retired objects bucketed by (epoch % 3). Only the owning thread touches
+  // these, and ownership hand-off goes through the in_use acquire/release.
+  std::vector<Retired> limbo[3];
+  std::uint64_t limbo_epoch[3] = {0, 0, 0};
+  std::size_t retires_since_scan = 0;
+};
+
+struct Global {
+  std::atomic<std::uint64_t> epoch{1};
+  std::atomic<ThreadRec*> head{nullptr};
+};
+
+inline Global& global() {
+  static Global g;
+  return g;
+}
+
+inline void free_bucket(std::vector<Retired>& b) {
+  for (const Retired& r : b) r.deleter(r.ptr);
+  b.clear();
+}
+
+// Advance the global epoch if every pinned thread has caught up with it.
+// Returns the (possibly unchanged) current epoch.
+inline std::uint64_t try_advance() {
+  Global& g = global();
+  const std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+  for (ThreadRec* r = g.head.load(std::memory_order_acquire); r;
+       r = r->next) {
+    const std::uint64_t pinned = r->pinned.load(std::memory_order_seq_cst);
+    if (pinned != kIdleEpoch && pinned != e) return e;
+  }
+  std::uint64_t expected = e;
+  g.epoch.compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);
+  return g.epoch.load(std::memory_order_seq_cst);
+}
+
+inline ThreadRec* acquire_rec() {
+  Global& g = global();
+  for (ThreadRec* r = g.head.load(std::memory_order_acquire); r;
+       r = r->next) {
+    bool expected = false;
+    if (!r->in_use.load(std::memory_order_relaxed) &&
+        r->in_use.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+      return r;
+  }
+  auto* r = new ThreadRec;
+  ThreadRec* head = g.head.load(std::memory_order_acquire);
+  do {
+    r->next = head;
+  } while (!g.head.compare_exchange_weak(head, r, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+  return r;
+}
+
+struct ThreadHandle {
+  ThreadRec* rec = nullptr;
+
+  ThreadRec* get() {
+    if (!rec) rec = acquire_rec();
+    return rec;
+  }
+
+  ~ThreadHandle() {
+    if (rec) rec->in_use.store(false, std::memory_order_release);
+  }
+};
+
+inline ThreadRec* my_rec() {
+  thread_local ThreadHandle handle;
+  return handle.get();
+}
+
+// Flush any bucket whose contents are two epochs stale.
+inline void collect(ThreadRec* rec, std::uint64_t now) {
+  for (int i = 0; i < 3; ++i) {
+    if (!rec->limbo[i].empty() && rec->limbo_epoch[i] + 2 <= now)
+      free_bucket(rec->limbo[i]);
+  }
+}
+
+}  // namespace detail
+
+// RAII epoch pin. Nestable; only the outermost guard publishes.
+class Guard {
+ public:
+  Guard() : rec_(detail::my_rec()) {
+    if (rec_->nest.fetch_add(1, std::memory_order_relaxed) == 0) {
+      detail::Global& g = detail::global();
+      // Publish the pin, then re-check: the epoch may have advanced between
+      // the read and the store, in which case re-pin at the newer epoch.
+      std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+      for (;;) {
+        rec_->pinned.store(e, std::memory_order_seq_cst);
+        const std::uint64_t now = g.epoch.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+      }
+    }
+  }
+
+  ~Guard() {
+    if (rec_->nest.fetch_sub(1, std::memory_order_relaxed) == 1)
+      rec_->pinned.store(detail::kIdleEpoch, std::memory_order_seq_cst);
+  }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  detail::ThreadRec* rec_;
+};
+
+// Hand `p` to the collector; it is deleted once no guard can reach it.
+template <class T>
+void retire(T* p) {
+  using namespace detail;
+  ThreadRec* rec = my_rec();
+  Global& g = global();
+  std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+  auto& bucket = rec->limbo[e % 3];
+  // A bucket is reused every third epoch; whatever is still in it is at
+  // least three epochs old and safe to free now.
+  if (!bucket.empty() && rec->limbo_epoch[e % 3] != e) free_bucket(bucket);
+  rec->limbo_epoch[e % 3] = e;
+  bucket.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+
+  if (++rec->retires_since_scan >= 64) {
+    rec->retires_since_scan = 0;
+    const std::uint64_t now = try_advance();
+    collect(rec, now);
+  }
+}
+
+// Best-effort drain for quiescent moments (tests, shutdown): repeatedly
+// advance and collect this thread's buckets. Objects parked on other
+// threads' records stay until those threads retire again.
+inline void quiesce() {
+  using namespace detail;
+  ThreadRec* rec = my_rec();
+  for (int i = 0; i < 4; ++i) collect(rec, try_advance());
+}
+
+}  // namespace jiffy::ebr

@@ -1,0 +1,60 @@
+// Version-number sources (paper §3.2).
+//
+// Jiffy stamps every revision with a version read from the CPU timestamp
+// counter: RDTSCP is a ~10 ns serializing-enough read that is monotonic
+// across cores on invariant-TSC hardware, so it gives a global version order
+// without the shared cache line a fetch_add counter bounces (footnote 3: the
+// counter-based prototype "did not scale past 4-8 threads").
+//
+// Three interchangeable sources, all exposing `std::uint64_t read()`:
+//   TscClock            RDTSCP (falls back to SteadyClock off x86-64)
+//   SteadyClock         std::chrono::steady_clock (vDSO call, portable)
+//   AtomicCounterClock  shared fetch_add (the rejected design; ablation A1)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define JIFFY_HAVE_RDTSCP 1
+#endif
+
+namespace jiffy {
+
+class SteadyClock {
+ public:
+  std::uint64_t read() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+};
+
+#if defined(JIFFY_HAVE_RDTSCP)
+class TscClock {
+ public:
+  std::uint64_t read() const {
+    unsigned aux;
+    // RDTSCP orders after prior loads/stores of this thread, which is what
+    // version stamping needs: the stamp must not be read before the revision
+    // install it follows.
+    return __rdtscp(&aux);
+  }
+};
+#else
+using TscClock = SteadyClock;
+#endif
+
+// Shared atomic counter; every read is an RMW on one cache line.
+class AtomicCounterClock {
+ public:
+  std::uint64_t read() const {
+    return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace jiffy

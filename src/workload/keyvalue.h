@@ -1,0 +1,99 @@
+// Key/value codecs for the benchmark kv shapes and the batch-op record.
+//
+// KeyCodec<K>::encode(i, space) maps a dense workload index i in [0, space)
+// to a key, injectively and ORDER-PRESERVING (index order == key order):
+// indices are spread evenly over the key domain on a fixed stride. Monotone
+// encoding is load-bearing for the sequential batch modes — consecutive
+// indices must produce adjacent keys so a b*_seq batch lands in one or a few
+// fat nodes, which is the locality effect the paper's sequential-batch rows
+// measure. Randomness comes from the index choosers (the harness preloads
+// shuffled indices, KeyChooser scrambles the Zipf head), not the codec.
+// ValueCodec<V>::make(i, r) builds a value from the index and a per-op
+// nonce.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_bytes.h"
+#include "workload/rng.h"
+
+namespace jiffy {
+
+namespace detail {
+// Largest stride that keeps i * stride in a `bits`-wide domain for every
+// i < space: evenly spaced, monotone, injective.
+inline std::uint64_t key_stride(std::uint64_t space, unsigned bits) {
+  assert(space > 0);
+  const std::uint64_t domain_max =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  assert(space - 1 <= domain_max);
+  return space > 1 ? domain_max / (space - 1) : 1;
+}
+}  // namespace detail
+
+template <class K>
+struct KeyCodec;
+
+template <>
+struct KeyCodec<std::uint64_t> {
+  static std::uint64_t encode(std::uint64_t i, std::uint64_t space) {
+    return i * detail::key_stride(space, 64);
+  }
+};
+
+template <>
+struct KeyCodec<std::uint32_t> {
+  static std::uint32_t encode(std::uint64_t i, std::uint64_t space) {
+    return static_cast<std::uint32_t>(i * detail::key_stride(space, 32));
+  }
+};
+
+template <std::size_t N>
+struct KeyCodec<FixedBytes<N>> {
+  static FixedBytes<N> encode(std::uint64_t i, std::uint64_t space) {
+    constexpr unsigned bits = N >= 8 ? 64 : 8 * N;
+    return FixedBytes<N>::from_u64(i * detail::key_stride(space, bits));
+  }
+};
+
+template <class V>
+struct ValueCodec;
+
+template <>
+struct ValueCodec<std::uint64_t> {
+  static std::uint64_t make(std::uint64_t i, std::uint64_t nonce) {
+    return splitmix64(i ^ (nonce << 1));
+  }
+};
+
+template <std::size_t N>
+struct ValueCodec<FixedBytes<N>> {
+  static FixedBytes<N> make(std::uint64_t i, std::uint64_t nonce) {
+    FixedBytes<N> v;
+    std::uint64_t x = splitmix64(i ^ (nonce << 1));
+    for (std::size_t b = 0; b < N; ++b) {
+      if (b % 8 == 0) x = splitmix64(x);
+      v.data[b] = static_cast<unsigned char>(x >> (8 * (b % 8)));
+    }
+    return v;
+  }
+};
+
+// One operation of an atomic batch update (paper §3.4).
+template <class K, class V>
+struct BatchOp {
+  enum class Kind : std::uint8_t { kPut, kRemove };
+
+  Kind kind = Kind::kPut;
+  K key{};
+  V value{};
+
+  static BatchOp put(K k, V v) {
+    return BatchOp{Kind::kPut, std::move(k), std::move(v)};
+  }
+  static BatchOp remove(K k) { return BatchOp{Kind::kRemove, std::move(k), V{}}; }
+};
+
+}  // namespace jiffy

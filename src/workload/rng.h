@@ -1,0 +1,114 @@
+// Per-thread PRNG and key-choice distributions for the benchmark harness.
+//
+// Rng is xorshift* seeded through splitmix64 (so consecutive small seeds give
+// uncorrelated streams). KeyChooser implements uniform and Zipfian choice; the
+// Zipfian generator is the stateless-per-draw YCSB formulation, so next_index
+// is const and one chooser can be shared by every worker thread.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace jiffy {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B9ull)
+      : state_(splitmix64(seed) | 1ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Unbiased-enough multiply-shift range reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  double next_double() {  // in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Chooses key indices in [0, space). Zipfian is the YCSB generator with
+// theta (the paper uses 0.99): zeta-based inverse CDF, all per-draw state in
+// the caller's Rng so the chooser itself is immutable after construction.
+class KeyChooser {
+ public:
+  enum class Kind { Uniform, Zipfian };
+
+  KeyChooser(Kind kind, std::uint64_t space, double theta = 0.99)
+      : kind_(kind), space_(space), theta_(theta) {
+    if (kind_ == Kind::Zipfian) {
+      zetan_ = zeta(space_, theta_);
+      zeta2_ = zeta(2, theta_);
+      alpha_ = 1.0 / (1.0 - theta_);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(space_), 1.0 - theta_)) /
+             (1.0 - zeta2_ / zetan_);
+    }
+  }
+
+  std::uint64_t space() const { return space_; }
+  Kind kind() const { return kind_; }
+
+  std::uint64_t next_index(Rng& rng) const {
+    if (kind_ == Kind::Uniform) return rng.next_below(space_);
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(space_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (idx >= space_) idx = space_ - 1;
+    // Scramble so the hot head of the distribution is spread over the key
+    // domain instead of clustered at the smallest keys (YCSB does the same).
+    return splitmix64(idx) % space_;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  Kind kind_;
+  std::uint64_t space_;
+  double theta_;
+  double zetan_ = 0, zeta2_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+}  // namespace jiffy

@@ -1,0 +1,167 @@
+// 4-thread stress: all operation types (put/erase/get/batch/scan/snapshot)
+// hammering one map. Two phases:
+//   1. disjoint key ranges — each thread verifies its range against a local
+//      shadow map afterwards (catches lost updates across node splits);
+//   2. fully shared range — no semantic oracle, but scans check ordering
+//      invariants and the sanitizer build (TSan preset) checks the rest.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/jiffy.h"
+#include "tests/test_util.h"
+#include "workload/keyvalue.h"
+
+using namespace jiffy;
+
+namespace {
+
+using Map = JiffyMap<std::uint64_t, std::uint64_t>;
+using Op = BatchOp<std::uint64_t, std::uint64_t>;
+
+void phase_disjoint(Map& m) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1 << 12;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> shadows(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto& shadow = shadows[t];
+      const std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+      Rng rng(900 + t);
+      for (int i = 0; i < 30'000; ++i) {
+        const std::uint64_t k = base + rng.next_below(kPerThread);
+        switch (rng.next_below(5)) {
+          case 0:
+          case 1: {
+            const std::uint64_t v = rng.next();
+            m.put(k, v);
+            shadow[k] = v;
+            break;
+          }
+          case 2:
+            m.erase(k);
+            shadow.erase(k);
+            break;
+          case 3: {
+            std::vector<Op> ops;
+            for (int j = 0; j < 8; ++j) {
+              const std::uint64_t bk = base + rng.next_below(kPerThread);
+              if (rng.next_bool(0.7)) {
+                const std::uint64_t v = rng.next();
+                ops.push_back(Op::put(bk, v));
+                shadow[bk] = v;
+              } else {
+                ops.push_back(Op::remove(bk));
+                shadow.erase(bk);
+              }
+            }
+            m.batch(std::move(ops));
+            break;
+          }
+          default: {
+            auto got = m.get(k);
+            auto it = shadow.find(k);
+            CHECK_EQ(got.has_value(), it != shadow.end());
+            if (got) CHECK_EQ(*got, it->second);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  // Post-hoc: every thread's range matches its shadow exactly.
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    m.scan_n(base, kPerThread + 10,
+             [&](const std::uint64_t& k, const std::uint64_t& v) {
+               if (k < base + kPerThread) got.emplace_back(k, v);
+             });
+    CHECK_EQ(got.size(), shadows[t].size());
+    auto it = shadows[t].begin();
+    for (const auto& [k, v] : got) {
+      CHECK_EQ(k, it->first);
+      CHECK_EQ(v, it->second);
+      ++it;
+    }
+  }
+}
+
+void phase_shared(Map& m) {
+  constexpr std::uint64_t kSpace = 1 << 13;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(55 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = splitmix64(rng.next_below(kSpace));
+        switch (rng.next_below(6)) {
+          case 0:
+          case 1:
+            m.put(k, rng.next());
+            break;
+          case 2:
+            m.erase(k);
+            break;
+          case 3: {
+            std::vector<Op> ops;
+            for (int j = 0; j < 16; ++j) {
+              const std::uint64_t bk = splitmix64(rng.next_below(kSpace));
+              if (rng.next_bool(0.5))
+                ops.push_back(Op::put(bk, rng.next()));
+              else
+                ops.push_back(Op::remove(bk));
+            }
+            m.batch(std::move(ops));
+            break;
+          }
+          case 4: {
+            std::uint64_t prev = 0;
+            bool first = true;
+            m.scan_n(k, 100, [&](const std::uint64_t& sk, const std::uint64_t&) {
+              CHECK(sk >= k);
+              CHECK(first || sk > prev);
+              prev = sk;
+              first = false;
+            });
+            break;
+          }
+          default: {
+            Snapshot s = m.snapshot();
+            s.get(k);
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop.store(true);
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace
+
+int main() {
+  JiffyConfig cfg;
+  cfg.autoscaler.enabled = true;
+  cfg.autoscaler.min_size = 8;  // small revisions: maximum split churn
+  cfg.autoscaler.max_size = 48;
+  cfg.autoscaler.interval_s = 0.005;
+  {
+    Map m(cfg);
+    phase_disjoint(m);
+    phase_shared(m);
+    const auto st = m.debug_stats();
+    std::printf("  final: %zu nodes, %zu entries, avg rev %.1f\n",
+                st.node_count, st.entry_count, st.avg_revision_size);
+  }
+  std::puts("test_stress OK");
+  return 0;
+}

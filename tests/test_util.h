@@ -1,0 +1,23 @@
+// Minimal check macros for the dependency-free test binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                     \
+  do {                                                                     \
+    if (!((a) == (b))) {                                                   \
+      std::fprintf(stderr, "CHECK_EQ failed at %s:%d: %s == %s\n",         \
+                   __FILE__, __LINE__, #a, #b);                            \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
