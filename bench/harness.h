@@ -5,11 +5,14 @@
 // modes (simple, 10-op, 100-op × sequential/random), uniform or Zipfian key
 // choice, both key/value shapes, swept over a thread grid for every index.
 //
-// Scenarios (paper §4.2):
+// Scenarios (paper §4.2, plus the range/reverse extension):
 //   a: 100% update threads
 //   b: 25% update, 75% lookup
 //   c: 25% update, 50% lookup, 25% scan (100 entries)
 //   d: 25% update, 50% lookup, 25% scan (10000 entries)
+//   e: 25% update, 25% lookup, 25% bounded-range scan ([k, k+100)),
+//      25% reverse scan (100 entries descending) — exercises the
+//      MapApi range_scan/rscan_n surface on every index
 //
 // Reported numbers are millions of *basic operations* per second: one
 // put/remove/get counts 1, a scan over n entries counts n, a B-op batch
@@ -20,6 +23,7 @@
 // --paper for the full 10M-entry, 96-thread grid of the paper's testbed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -35,7 +39,13 @@
 
 namespace jiffy::bench {
 
-enum class Scenario { kUpdateOnly, kUpdateLookup, kMixedShortScan, kMixedLongScan };
+enum class Scenario {
+  kUpdateOnly,
+  kUpdateLookup,
+  kMixedShortScan,
+  kMixedLongScan,
+  kMixedRange,
+};
 
 inline const char* scenario_name(Scenario s) {
   switch (s) {
@@ -43,6 +53,7 @@ inline const char* scenario_name(Scenario s) {
     case Scenario::kUpdateLookup: return "b_lookup75";
     case Scenario::kMixedShortScan: return "c_scan100";
     case Scenario::kMixedLongScan: return "d_scan10k";
+    case Scenario::kMixedRange: return "e_range";
   }
   return "?";
 }
@@ -80,13 +91,16 @@ struct RowResult {
 };
 
 // Thread-role split of the paper: indices below are "percent * threads".
-// scan_len is defaulted: only the scan scenarios set it, and the update-only
-// branches spell out the no-scanner split explicitly.
+// scan_len / range_span are defaulted: only the scan scenarios set them, and
+// the update-only branches spell out the no-scanner split explicitly.
 struct RoleSplit {
   int updaters = 0;
   int lookups = 0;
   int scanners = 0;
+  int rev_scanners = 0;    // rscan_n threads (descending, scan_len entries)
+  int rangers = 0;         // range_scan threads ([k, k+range_span) half-open)
   std::size_t scan_len = 0;
+  std::uint64_t range_span = 0;  // key-index width of each bounded range
 };
 
 inline RoleSplit roles_for(Scenario s, int threads) {
@@ -115,6 +129,23 @@ inline RoleSplit roles_for(Scenario s, int threads) {
               .scan_len = s == Scenario::kMixedShortScan ? std::size_t{100}
                                                          : std::size_t{10'000}};
     }
+    case Scenario::kMixedRange: {
+      RoleSplit r;
+      r.scan_len = 100;
+      r.range_span = 100;
+      if (threads < 4) {
+        r.updaters = 1;
+        if (threads >= 2) r.rangers = 1;
+        if (threads >= 3) r.rev_scanners = 1;
+        return r;
+      }
+      r.updaters = pct(0.25);
+      r.rangers = pct(0.25);
+      r.rev_scanners = pct(0.25);
+      r.lookups = threads - r.updaters - r.rangers - r.rev_scanners;
+      if (r.lookups < 0) r.lookups = 0;
+      return r;
+    }
   }
   return {.updaters = threads};
 }
@@ -124,6 +155,7 @@ inline RoleSplit roles_for(Scenario s, int threads) {
 // sweep, and constructing it is O(key_space) for Zipf (the zeta sum), which
 // would otherwise be paid once per cell at --paper scale.
 template <class K, class V, class Adapter>
+  requires MapApi<Adapter>
 RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
                    const KeyChooser& chooser) {
   const RoleSplit roles = roles_for(cfg.scenario, threads);
@@ -147,19 +179,19 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
           idx.erase(k);
         ++ops;
       } else {
-        std::vector<BatchOp<K, V>> b;
+        Batch<K, V> b;
         b.reserve(cfg.batch.size);
         std::uint64_t i = chooser.next_index(rng);
         for (std::size_t j = 0; j < cfg.batch.size; ++j) {
           if (!cfg.batch.sequential) i = chooser.next_index(rng);
           const K k = KeyCodec<K>::encode(i % cfg.key_space, cfg.key_space);
           if (rng.next_bool(0.5))
-            b.push_back(BatchOp<K, V>::put(k, ValueCodec<V>::make(i, rng.next())));
+            b.put(k, ValueCodec<V>::make(i, rng.next()));
           else
-            b.push_back(BatchOp<K, V>::remove(k));
+            b.erase(k);
           if (cfg.batch.sequential) ++i;
         }
-        idx.batch(std::move(b));
+        idx.apply(std::move(b));
         ops += cfg.batch.size;
       }
     }
@@ -191,11 +223,41 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
     total_ops.fetch_add(ops, std::memory_order_relaxed);
   };
 
+  auto rev_scanner = [&](int tid) {
+    Rng rng(0xD15C + static_cast<std::uint64_t>(tid));
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t i = chooser.next_index(rng);
+      ops += idx.rscan_n(KeyCodec<K>::encode(i, cfg.key_space),
+                         roles.scan_len, [](const K&, const V&) {});
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  auto ranger = [&](int tid) {
+    Rng rng(0x7A11 + static_cast<std::uint64_t>(tid));
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t lo_i = chooser.next_index(rng);
+      const std::uint64_t hi_i =
+          std::min(lo_i + roles.range_span, cfg.key_space - 1);
+      ops += idx.range_scan(KeyCodec<K>::encode(lo_i, cfg.key_space),
+                            KeyCodec<K>::encode(hi_i, cfg.key_space),
+                            [](const K&, const V&) {});
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
   std::vector<std::thread> ts;
   int tid = 0;
   for (int i = 0; i < roles.updaters; ++i) ts.emplace_back(updater, tid++);
   for (int i = 0; i < roles.lookups; ++i) ts.emplace_back(lookup, tid++);
   for (int i = 0; i < roles.scanners; ++i) ts.emplace_back(scanner, tid++);
+  for (int i = 0; i < roles.rev_scanners; ++i)
+    ts.emplace_back(rev_scanner, tid++);
+  for (int i = 0; i < roles.rangers; ++i) ts.emplace_back(ranger, tid++);
 
   const auto t0 = std::chrono::steady_clock::now();
   start.store(true, std::memory_order_release);
@@ -216,6 +278,7 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
 // the key domain) and sweeps the thread grid, reusing the index across thread counts
 // (the 50/50 put/remove mix keeps the population stationary).
 template <class K, class V, class Adapter>
+  requires MapApi<Adapter>
 void run_index(const RunConfig& cfg, const char* name) {
   Adapter idx;
   {
@@ -301,7 +364,7 @@ inline CliOptions parse_cli(int argc, char** argv) {
     } else if (a == "--help") {
       std::printf(
           "flags: --paper | --seconds=S | --entries=N | --threads=a,b,c | "
-          "--index=NAME | --scenario=a|b|c|d | --no-batches\n");
+          "--index=NAME | --scenario=a|b|c|d|e | --no-batches\n");
       std::exit(0);
     }
   }
@@ -329,7 +392,8 @@ void run_figure(const char* figure, const char* kv_shape,
 
   const Scenario scenarios[] = {Scenario::kUpdateOnly, Scenario::kUpdateLookup,
                                 Scenario::kMixedShortScan,
-                                Scenario::kMixedLongScan};
+                                Scenario::kMixedLongScan,
+                                Scenario::kMixedRange};
   auto scenario_enabled = [&](Scenario s) {
     if (cli.only_scenario.empty()) return true;
     return std::string(1, scenario_name(s)[0]) == cli.only_scenario;

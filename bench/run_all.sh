@@ -4,6 +4,7 @@
 # --paper through to any figure via EXTRA_ARGS.
 #
 #   ./bench/run_all.sh                 # small grid, native indices only
+#   ./bench/run_all.sh --quick         # CI-sized cells (short secs/entries)
 #   EXTRA_ARGS="--paper" ./bench/run_all.sh
 #   BUILD_DIR=build-foo ./bench/run_all.sh
 set -euo pipefail
@@ -15,6 +16,20 @@ EXTRA_ARGS=${EXTRA_ARGS:-}
 # Stub adapters (see baselines/registry.h) measure a locked std::map, not
 # the paper's baselines; sweep only the native indices unless overridden.
 INDICES=${INDICES:-"jiffy cslm"}
+
+for arg in "$@"; do
+  case "$arg" in
+    --quick)
+      # Tiny cells so the whole CSV sweep fits in a CI job; prepended so an
+      # explicit EXTRA_ARGS still wins (last flag parsed wins in the CLI).
+      EXTRA_ARGS="--seconds=0.05 --warmup=0.05 --entries=4000 --threads=1,2 ${EXTRA_ARGS}"
+      ;;
+    *)
+      echo "unknown flag: $arg (supported: --quick)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 if [ ! -x "$BUILD_DIR/fig6_uniform_4_4" ]; then
   echo "building into $BUILD_DIR ..."

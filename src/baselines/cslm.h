@@ -7,10 +7,10 @@
 // This is the "no fat nodes" contrast for Jiffy's locality argument: every
 // step of a traversal is a dependent cache miss. Values live behind an
 // atomic pointer so in-place updates are lock-free; nodes and replaced
-// values are reclaimed through the shared EBR. Scans are weakly consistent
-// (like the Java CSLM iterators the paper benchmarks against); batch() is a
-// plain loop, i.e. NOT atomic — the harness only runs batch rows for
-// indices that support them.
+// values are reclaimed through the shared EBR. Scans (forward, reverse and
+// bounded-range) are weakly consistent (like the Java CSLM iterators the
+// paper benchmarks against); apply() is a plain loop, i.e. NOT atomic — the
+// harness only runs batch rows for indices that support them.
 #pragma once
 
 #include <atomic>
@@ -76,6 +76,7 @@ class CslmMap {
         delete node;  // never published
         continue;
       }
+      size_.fetch_add(1, std::memory_order_relaxed);
       for (int l = 1; l <= top; ++l) {
         for (;;) {
           std::uintptr_t e = pack(succs[l], false);
@@ -113,6 +114,7 @@ class CslmMap {
       if (marked(cur)) return false;  // lost to a concurrent remover
       if (node->next[0].compare_exchange_strong(cur, cur | 1u,
                                                 std::memory_order_seq_cst)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
         // A completed find() pass snips the node at every level it still
         // occupied; only then is it safe to hand to the collector.
         find(k, preds, succs);
@@ -129,6 +131,20 @@ class CslmMap {
     if (!find(k, preds, succs)) return std::nullopt;
     V* p = succs[0]->val.load(std::memory_order_acquire);
     return *p;
+  }
+
+  bool contains(const K& k) const {
+    ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    return find(k, preds, succs);
+  }
+
+  // Atomic insert/remove counter (puts that overwrite do not change it);
+  // transiently off by in-flight ops, hence "approx".
+  std::size_t approx_size() const {
+    const std::int64_t n = size_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
 
   // Weakly consistent ordered traversal at level 0.
@@ -150,10 +166,57 @@ class CslmMap {
     return emitted;
   }
 
+  // Descending visit of up to n entries with key <= from. The list is
+  // singly linked, so each step re-searches for the strict predecessor
+  // (O(log n) per entry, like Java's CSLM descending iterators); weakly
+  // consistent like scan_n.
+  template <class F>
+  std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
+    ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    std::size_t emitted = 0;
+    K cur = from;
+    bool inclusive = true;
+    while (emitted < n) {
+      const bool eq = find(cur, preds, succs);
+      Node* cand = (inclusive && eq) ? succs[0] : preds[0];
+      if (cand->sentinel != Sentinel::kNone) break;
+      if (!marked(cand->next[0].load(std::memory_order_seq_cst))) {
+        f(cand->key, *cand->val.load(std::memory_order_acquire));
+        ++emitted;
+      }
+      cur = cand->key;
+      inclusive = false;
+    }
+    return emitted;
+  }
+
+  // Ordered visit of every entry in the half-open range [lo, hi); weakly
+  // consistent, level-0 traversal.
+  template <class F>
+  std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
+    ebr::Guard g;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(lo, preds, succs);
+    std::size_t emitted = 0;
+    for (Node* cur = succs[0];
+         cur->sentinel != Sentinel::kTail && less_(cur->key, hi);) {
+      const std::uintptr_t nx = cur->next[0].load(std::memory_order_seq_cst);
+      if (!marked(nx)) {
+        f(cur->key, *cur->val.load(std::memory_order_acquire));
+        ++emitted;
+      }
+      cur = unmark(nx);
+    }
+    return emitted;
+  }
+
   // Not atomic: CSLM has no batch support in the paper either; the harness
   // only emits batch rows for indices that provide real atomic batches.
-  void batch(std::vector<BatchOp<K, V>> ops) {
-    for (auto& op : ops) {
+  void apply(Batch<K, V> b) {
+    for (const auto& op : b.ops()) {
       if (op.kind == BatchOp<K, V>::Kind::kPut)
         put(op.key, op.value);
       else
@@ -244,6 +307,7 @@ class CslmMap {
   }
 
   Less less_{};
+  mutable std::atomic<std::int64_t> size_{0};
   Node* head_;
   Node* tail_;
 };

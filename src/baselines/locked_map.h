@@ -36,9 +36,19 @@ class LockedMap {
     return it->second;
   }
 
-  void batch(std::vector<BatchOp<K, V>> ops) {
+  bool contains(const K& k) const {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& op : ops) {
+    return map_.find(k) != map_.end();
+  }
+
+  std::size_t approx_size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();  // exact under the lock
+  }
+
+  void apply(Batch<K, V> b) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& op : b.ops()) {
       if (op.kind == BatchOp<K, V>::Kind::kPut)
         map_.insert_or_assign(op.key, op.value);
       else
@@ -53,6 +63,33 @@ class LockedMap {
     for (auto it = map_.lower_bound(from); it != map_.end() && emitted < n;
          ++it, ++emitted)
       f(it->first, it->second);
+    return emitted;
+  }
+
+  // Descending visit of up to n entries with key <= from.
+  template <class F>
+  std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t emitted = 0;
+    for (auto it = map_.upper_bound(from);
+         it != map_.begin() && emitted < n;) {
+      --it;
+      f(it->first, it->second);
+      ++emitted;
+    }
+    return emitted;
+  }
+
+  // Ordered visit of every entry in the half-open range [lo, hi).
+  template <class F>
+  std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t emitted = 0;
+    for (auto it = map_.lower_bound(lo);
+         it != map_.end() && map_.key_comp()(it->first, hi); ++it) {
+      f(it->first, it->second);
+      ++emitted;
+    }
     return emitted;
   }
 

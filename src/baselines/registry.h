@@ -19,24 +19,31 @@ struct AdapterInfo {
   const char* description;
   AdapterKind kind;
   bool atomic_batches;     // participates in the batch rows of the figures
+  // Every adapter models MapApi (forward/reverse/range scans included); this
+  // flag records whether multi-entry reads are snapshot-consistent (Jiffy's
+  // versioned scans, the stubs' global lock) or weakly consistent (CSLM).
+  bool snapshot_scans;
 };
 
 inline constexpr AdapterInfo kAdapterRegistry[] = {
     {"jiffy", "this tree's JiffyMap (paper's subject)", AdapterKind::kNative,
-     true},
+     true, true},
     {"cslm", "lock-free skip list, Herlihy-Shavit style (Java CSLM analogue)",
-     AdapterKind::kNative, false},
+     AdapterKind::kNative, false, false},
     {"snaptree", "Bronson et al. snapshot AVL tree", AdapterKind::kStub,
-     false},
+     false, true},
     {"k-ary", "Brown-Helga lock-free k-ary search tree", AdapterKind::kStub,
-     false},
-    {"ca-avl", "contention-adapting AVL tree", AdapterKind::kStub, true},
-    {"ca-sl", "contention-adapting skip list", AdapterKind::kStub, true},
+     false, true},
+    {"ca-avl", "contention-adapting AVL tree", AdapterKind::kStub, true,
+     true},
+    {"ca-sl", "contention-adapting skip list", AdapterKind::kStub, true,
+     true},
     {"ca-imm", "CA tree with immutable leaf containers", AdapterKind::kStub,
-     false},
+     false, true},
     {"lfca", "lock-free contention-adapting search tree", AdapterKind::kStub,
-     false},
-    {"kiwi", "KiWi wait-free-scan key-value map", AdapterKind::kStub, false},
+     false, true},
+    {"kiwi", "KiWi wait-free-scan key-value map", AdapterKind::kStub, false,
+     true},
 };
 
 inline constexpr std::size_t kAdapterCount =

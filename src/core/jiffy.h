@@ -16,11 +16,19 @@
 //     resulting revision under one shared VersionCell in a single CAS on the
 //     old node (the new right-hand nodes hang off the revision's `sibling`
 //     pointer until helped into the list), so a split is atomic.
-//   * Batch updates (§3.4) install one kBatch revision per affected node, in
-//     ascending key order, all sharing a VersionCell that is stamped only
+//   * Batch updates (§3.4) are built through the typed Batch builder and
+//     applied via apply(): one kBatch revision per affected node, installed
+//     in ascending key order, all sharing a VersionCell that is stamped only
 //     after the last install: the whole batch becomes visible atomically.
-//     Readers treat a pending batch revision as not-yet-linearized and read
-//     through `prev`; writers wait for the stamp (helping is future work).
+//     The sorted, deduplicated op list is published in a BatchDescriptor
+//     hanging off the cell (the helping hook). Readers treat a pending batch
+//     revision as not-yet-linearized and read through `prev`; writers wait
+//     for the stamp (completing a stalled batch from the descriptor is
+//     future work).
+//   * Nodes carry backward links (the paper's list is doubly linked): `back`
+//     is a best-effort hint to a strict list-predecessor, re-validated by a
+//     forward walk, powering reverse cursors and rscan_n under the same
+//     TSC-version visibility rules as forward scans.
 //   * Replaced revisions are retired through EBR *after* their successor is
 //     stamped; together with monotonic clock reads this guarantees a reader
 //     never follows `prev` into memory retired before its guard began.
@@ -34,9 +42,12 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -68,11 +79,32 @@ inline std::uint16_t fold_hash16(std::size_t h) {
 
 // Shared version for multi-revision atomic installs (splits and batches).
 // `helpable` distinguishes splits (fully published by one CAS, so any reader
-// may stamp) from batches (multi-CAS; only the batch writer stamps).
+// may stamp) from batches (multi-CAS; only the batch writer stamps). A batch
+// cell additionally owns the published BatchDescriptor (type-erased here so
+// the cell stays untemplated); it is freed with the cell.
 struct VersionCell {
   std::atomic<std::uint64_t> version{kPendingVersion};
   std::atomic<std::uint32_t> refs{0};
   bool helpable = true;
+  void* batch = nullptr;
+  void (*batch_deleter)(void*) = nullptr;
+
+  ~VersionCell() {
+    if (batch && batch_deleter) batch_deleter(batch);
+  }
+};
+
+// Published description of an in-flight atomic batch (§3.4): the sorted,
+// last-wins-deduplicated op list plus the install watermark. Reachable from
+// any installed kBatch revision as rev->cell->batch — this is the helping
+// hook: a writer blocked on a pending batch revision can see the whole op
+// list and (future work) replay ops[installed..) itself instead of spinning.
+template <class K, class V>
+struct BatchDescriptor {
+  std::vector<BatchOp<K, V>> ops;
+  std::atomic<std::size_t> installed{0};  // ops[0, installed) have revisions
+
+  static void destroy(void* p) { delete static_cast<BatchDescriptor*>(p); }
 };
 
 template <class K, class V>
@@ -82,6 +114,11 @@ struct JiffyNode;
 // reads. Published by a CAS on JiffyNode::rev and reclaimed through EBR once
 // unref'd (`link_refs` counts head pointers, not `prev` edges: a `prev` edge
 // may dangle after reclamation, but the version rule keeps readers off it).
+//
+// Entries live *inline*, directly after the struct in the same allocation
+// (one less indirection per read): allocate() sizes the block, the builder
+// placement-constructs entries, and the class-scope operator delete keeps
+// plain `delete` (and EBR's deleter) freeing the whole block.
 template <class K, class V>
 struct Revision {
   using Entry = std::pair<K, V>;
@@ -95,12 +132,49 @@ struct Revision {
   JiffyNode<K, V>* link_expect = nullptr;  // split: next[0] value to CAS from
   JiffyNode<K, V>* home = nullptr;   // kAbsorbed: the node that absorbed us
   std::atomic<std::uint32_t> link_refs{1};
+  std::uint32_t count = 0;           // constructed entries in the inline array
+  std::uint32_t cap = 0;             // inline array capacity (allocation size)
   std::uint32_t hmask = 0;           // hash bucket count - 1
-  std::vector<Entry> entries;        // sorted by key, unique
   std::vector<std::uint32_t> hslots; // 2 slots/bucket: (tag16 << 16) | index
   std::vector<std::uint64_t> hoverflow;  // per-bucket overflow bitmap
 
+  static constexpr std::size_t entry_offset() {
+    return (sizeof(Revision) + alignof(Entry) - 1) / alignof(Entry) *
+           alignof(Entry);
+  }
+
+  Entry* entry_data() {
+    return reinterpret_cast<Entry*>(reinterpret_cast<unsigned char*>(this) +
+                                    entry_offset());
+  }
+  const Entry* entry_data() const {
+    return reinterpret_cast<const Entry*>(
+        reinterpret_cast<const unsigned char*>(this) + entry_offset());
+  }
+
+  const Entry* begin() const { return entry_data(); }
+  const Entry* end() const { return entry_data() + count; }
+  const Entry& entry(std::uint32_t i) const { return entry_data()[i]; }
+  std::span<const Entry> entries() const { return {entry_data(), count}; }
+  bool empty() const { return count == 0; }
+
+  static Revision* allocate(std::uint32_t capacity) {
+    // Plain ::operator new only guarantees the default alignment; the
+    // inline array would silently misalign an over-aligned Entry type.
+    static_assert(alignof(Entry) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned key/value types need an aligned allocator");
+    void* mem = ::operator new(entry_offset() +
+                               std::size_t{capacity} * sizeof(Entry));
+    auto* r = ::new (mem) Revision();
+    r->cap = capacity;
+    return r;
+  }
+
+  static void operator delete(void* p) { ::operator delete(p); }
+
   ~Revision() {
+    Entry* e = entry_data();
+    for (std::uint32_t i = 0; i < count; ++i) e[i].~Entry();
     if (cell && cell->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
       delete cell;
   }
@@ -120,22 +194,19 @@ struct Revision {
       version.compare_exchange_strong(expected, t, std::memory_order_seq_cst);
   }
 
-  // Readers may stamp only revisions whose publish completed at one CAS:
-  // plain single-rev installs, and split parts (their cell is marked
-  // helpable). Batch/merge cells stay writer-stamped — a reader-side stamp
-  // would linearize a multi-CAS operation before its installs finish.
-  bool reader_may_stamp() const {
-    if (cell) return cell->helpable;
-    return kind == RevKind::kPlain;
-  }
+  // (Reader-side stamping policy lives in JiffyMap::try_help_stamp: plain
+  // revisions and split parts always, batch revisions once their descriptor
+  // reports every install done, merge revisions always — meeting one proves
+  // the merge's second and final CAS landed. Pending kAbsorbed markers are
+  // never stamped: their merge may still abort.)
 
   template <class Less>
   const Entry* find_binary(const K& k, const Less& less) const {
-    auto it = std::lower_bound(
-        entries.begin(), entries.end(), k,
+    const Entry* it = std::lower_bound(
+        begin(), end(), k,
         [&](const Entry& e, const K& key) { return less(e.first, key); });
-    if (it == entries.end() || less(k, it->first)) return nullptr;
-    return &*it;
+    if (it == end() || less(k, it->first)) return nullptr;
+    return it;
   }
 
   // Hash-index lookup (§3.3.5): probe the key's two slots. An empty slot is
@@ -151,7 +222,7 @@ struct Revision {
         const std::uint32_t slot = hslots[base + s];
         if (slot == kEmptySlot) return nullptr;
         if ((slot >> 16) == h16) {
-          const Entry& e = entries[slot & 0xFFFFu];
+          const Entry& e = entry_data()[slot & 0xFFFFu];
           if (!less(e.first, k) && !less(k, e.first)) return &e;
         }
       }
@@ -180,26 +251,26 @@ class RevisionBuilder {
   RevisionBuilder(RevKind kind, std::uint32_t capacity,
                   std::uint64_t version = kPendingVersion,
                   bool hash_index = true)
-      : rev_(new Rev), hash_index_(hash_index) {
+      : rev_(Rev::allocate(capacity)), hash_index_(hash_index) {
     rev_->kind = kind;
     rev_->version.store(version, std::memory_order_relaxed);
-    rev_->entries.reserve(capacity);
   }
 
   ~RevisionBuilder() { delete rev_; }
 
   void emit(K k, V v) {
-    rev_->entries.emplace_back(std::move(k), std::move(v));
+    assert(rev_->count < rev_->cap);
+    ::new (rev_->entry_data() + rev_->count)
+        typename Rev::Entry(std::move(k), std::move(v));
+    ++rev_->count;
   }
 
-  std::uint32_t count() const {
-    return static_cast<std::uint32_t>(rev_->entries.size());
-  }
+  std::uint32_t count() const { return rev_->count; }
 
   Rev* finish() {
     Rev* r = rev_;
     rev_ = nullptr;
-    const std::size_t n = r->entries.size();
+    const std::uint32_t n = r->count;
     if (hash_index_ && n > 0 && n <= 0xFFFF) {
       std::uint32_t buckets = 4;
       while (buckets < n) buckets <<= 1;
@@ -208,7 +279,7 @@ class RevisionBuilder {
                        Rev::kEmptySlot);
       r->hoverflow.assign((buckets + 63) / 64, 0);
       for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint16_t tag = fold_hash16(Hash{}(r->entries[i].first));
+        const std::uint16_t tag = fold_hash16(Hash{}(r->entry(i).first));
         const std::uint32_t bucket = static_cast<std::uint32_t>(tag) & r->hmask;
         const std::uint32_t base = bucket * 2;
         if (r->hslots[base] == Rev::kEmptySlot)
@@ -232,8 +303,17 @@ class RevisionBuilder {
 
 // A fat node: a key range plus the head of its revision chain. `next[0]` is
 // the bottom-level list; higher next slots form the search tower. Nodes are
-// never removed, so towers need no marks. (The paper's backward links, for
-// reverse scans, are deferred until a consumer lands — see ROADMAP.)
+// never removed, so towers need no marks.
+//
+// `back` makes the bottom level doubly linked (paper §3.1) for reverse
+// cursors: a best-effort hint that always points to a *strict list
+// predecessor* — nodes are never unlinked and never reordered, so every
+// back edge moves strictly left in list position and back-chains terminate
+// at the head. (Anchors usually shrink along a back edge too, but may tie
+// with a tombstone's, or even grow when a merge victim's hint is later
+// retargeted at a resplit part, so termination must not be argued from
+// anchors.) The hint is not necessarily the immediate predecessor —
+// pred_at() re-validates with a forward walk and tightens it.
 template <class K, class V>
 struct JiffyNode {
   static constexpr int kMaxHeight = 20;
@@ -243,6 +323,7 @@ struct JiffyNode {
   const K anchor;
   std::atomic<std::uint64_t> birth{kPendingVersion};
   std::atomic<Revision<K, V>*> rev{nullptr};
+  std::atomic<JiffyNode*> back{nullptr};
   std::vector<std::atomic<JiffyNode*>> next;
 
   JiffyNode(int h, bool head, K a)
@@ -335,6 +416,9 @@ class RevisionAutoscaler {
 template <class MapT>
 class Snapshot;
 
+template <class MapT>
+class SnapCursor;
+
 template <class K, class V, class Less = std::less<K>,
           class Hash = std::hash<K>, class Clock = TscClock>
 class JiffyMap {
@@ -383,17 +467,20 @@ class JiffyMap {
       if (wait_writable(x, r) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
       const Entry* hit = r->find_binary(k, less_);
-      const std::uint32_t n = static_cast<std::uint32_t>(r->entries.size());
+      const std::uint32_t n = r->count;
       const std::uint32_t newn = hit ? n : n + 1;
       const std::uint32_t maxsz = effective_max_size();
       if (newn > maxsz && newn >= 4) {
-        if (install_split(x, r, &k, &v)) return !hit;
+        if (install_split(x, r, &k, &v)) {
+          if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
+          return !hit;
+        }
         continue;
       }
       RevisionBuilder<K, V, Hash> b(RevKind::kPlain, newn, kPendingVersion,
                                     cfg_.hash_index);
       bool placed = false;
-      for (const Entry& e : r->entries) {
+      for (const Entry& e : r->entries()) {
         if (!placed && less_(k, e.first)) {
           b.emit(k, v);
           placed = true;
@@ -409,6 +496,7 @@ class JiffyMap {
       Rev* nr = b.finish();
       nr->prev = r;
       if (install_plain(x, r, nr)) {
+        if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
         maybe_merge(x);
         return !hit;
       }
@@ -425,14 +513,14 @@ class JiffyMap {
       if (wait_writable(x, r) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
       if (!r->find_binary(k, less_)) return false;
-      RevisionBuilder<K, V, Hash> b(
-          RevKind::kPlain, static_cast<std::uint32_t>(r->entries.size()) - 1,
-          kPendingVersion, cfg_.hash_index);
-      for (const Entry& e : r->entries)
+      RevisionBuilder<K, V, Hash> b(RevKind::kPlain, r->count - 1,
+                                    kPendingVersion, cfg_.hash_index);
+      for (const Entry& e : r->entries())
         if (less_(e.first, k) || less_(k, e.first)) b.emit(e.first, e.second);
       Rev* nr = b.finish();
       nr->prev = r;
       if (install_plain(x, r, nr)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
         maybe_merge(x);
         return true;
       }
@@ -443,63 +531,61 @@ class JiffyMap {
   std::optional<V> get(const K& k) const {
     scaler_.note(/*is_read=*/true);
     ebr::Guard g;
-    for (;;) {
-      auto [x, r] = locate(k);
-      // A pending batch/merge revision is not linearized yet: read the
-      // state before it through prev (its predecessor is always stamped).
-      while (r && r->kind != RevKind::kPlain &&
-             r->version_now() == kPendingVersion)
-        r = r->prev;
-      if (!r) return std::nullopt;
-      // locate() may hand us a merge marker that was pending then and got
-      // stamped since: the merge committed and k now lives in the absorber,
-      // so re-route rather than miss on the marker's empty array.
-      if (r->kind == RevKind::kAbsorbed) continue;
-      // Help stamp a pending plain head before returning its contents:
-      // otherwise a snapshot taken after this get could be versioned below
-      // the (late) stamp and miss a value the get already observed.
-      if (r->version_now() == kPendingVersion && r->reader_may_stamp())
-        r->stamp(clock_.read());
-      const Entry* e = r->find(k, fold_hash16(hash_(k)), less_);
-      if (!e) return std::nullopt;
-      return e->second;
-    }
+    const Entry* e = find_live(k);
+    if (!e) return std::nullopt;
+    return e->second;
   }
 
-  bool contains(const K& k) const { return get(k).has_value(); }
+  // Membership without materializing the value (V may be large).
+  bool contains(const K& k) const {
+    scaler_.note(/*is_read=*/true);
+    ebr::Guard g;
+    return find_live(k) != nullptr;
+  }
 
   // ---- batch updates (§3.4) -----------------------------------------------
 
-  // Apply all operations atomically: a concurrent reader observes either
-  // none or all of them (per-key last-wins within the batch).
-  void batch(std::vector<BatchOp<K, V>> ops) {
+  // Apply a Batch atomically: a concurrent reader observes either none or
+  // all of its operations (per-key last-wins within the batch). The sorted,
+  // deduplicated op list is published in a BatchDescriptor reachable from
+  // every installed revision (rev->cell->batch) — the helping hook.
+  void apply(Batch<K, V> b) {
+    std::vector<BatchOp<K, V>> ops = std::move(b).take();
     if (ops.empty()) return;
     scaler_.note(/*is_read=*/false, ops.size());
     std::stable_sort(ops.begin(), ops.end(),
-                     [&](const BatchOp<K, V>& a, const BatchOp<K, V>& b) {
-                       return less_(a.key, b.key);
+                     [&](const BatchOp<K, V>& a, const BatchOp<K, V>& b2) {
+                       return less_(a.key, b2.key);
                      });
-    // Last-wins dedupe: keep the final op for each key.
+    // Last-wins dedupe: keep the final op for each key. (Guard the move:
+    // self-move-assignment leaves containers valid-but-unspecified.)
     std::size_t w = 0;
     for (std::size_t i = 0; i < ops.size(); ++i) {
       if (i + 1 < ops.size() && !less_(ops[i].key, ops[i + 1].key) &&
           !less_(ops[i + 1].key, ops[i].key))
         continue;
-      ops[w++] = std::move(ops[i]);
+      if (w != i) ops[w] = std::move(ops[i]);
+      ++w;
     }
     ops.resize(w);
 
     ebr::Guard g;
+    auto* desc = new BatchDescriptor<K, V>;
+    desc->ops = std::move(ops);
     auto* cell = new VersionCell;
     cell->helpable = false;
+    cell->batch = desc;
+    cell->batch_deleter = &BatchDescriptor<K, V>::destroy;
     // The writer holds its own reference: a failed install CAS destroys the
     // discarded revision, and without this the destructor could free the
     // cell out from under the rest of the batch.
     cell->refs.store(1, std::memory_order_relaxed);
+    const std::vector<BatchOp<K, V>>& sops = desc->ops;
     std::vector<Rev*> replaced;
+    std::int64_t delta = 0;
     std::size_t i = 0;
-    while (i < ops.size()) {
-      auto [x, r] = locate(ops[i].key);
+    while (i < sops.size()) {
+      auto [x, r] = locate(sops[i].key);
       // With tombstones in the list a later group can re-route to a node we
       // already installed into (our pending revision still heads it). Build
       // on top of our own revision — both share the cell, so they linearize
@@ -513,18 +599,25 @@ class JiffyMap {
       // in ascending key order, so two overlapping batches cannot wait on
       // each other's pending revisions in a cycle.
       std::size_t j = i + 1;
-      while (j < ops.size() && (!nxt || less_(ops[j].key, nxt->anchor))) ++j;
-      Rev* nr = build_batch_rev(r, ops, i, j, cell);
+      while (j < sops.size() && (!nxt || less_(sops[j].key, nxt->anchor))) ++j;
+      Rev* nr = build_batch_rev(r, sops, i, j, cell);
       if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
         Rev::unref(nr, /*immediate=*/true);
         continue;  // lost the race: re-locate this group
       }
+      delta += static_cast<std::int64_t>(nr->count) -
+               static_cast<std::int64_t>(r->count);
       replaced.push_back(r);
       i = j;
+      // Watermark for helpers: once this reads ops.size(), only the stamp
+      // is missing and anyone may supply it (try_help_stamp). seq_cst so
+      // the helping argument can lean on the total order like stamps do.
+      desc->installed.store(j, std::memory_order_seq_cst);
     }
     std::uint64_t expected = kPendingVersion;
     cell->version.compare_exchange_strong(expected, clock_.read(),
                                           std::memory_order_seq_cst);
+    size_.fetch_add(delta, std::memory_order_relaxed);
     for (Rev* old : replaced) Rev::unref(old);
     release_cell(cell);
   }
@@ -541,7 +634,34 @@ class JiffyMap {
     return scan_at(from, n, v, std::forward<F>(f));
   }
 
+  // Visit up to `n` entries with key <= from, in descending order, at one
+  // consistent version (the reverse of scan_n, over the backward links).
+  template <class F>
+  std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
+    scaler_.note(/*is_read=*/true, n ? n : 1);
+    ebr::Guard g;
+    const std::uint64_t v = clock_.read();
+    return rscan_at(from, n, v, std::forward<F>(f));
+  }
+
+  // Visit every entry in the half-open range [lo, hi), in order, at one
+  // consistent version. Returns the number visited.
+  template <class F>
+  std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
+    ebr::Guard g;
+    const std::size_t n = range_at(lo, hi, clock_.read(), std::forward<F>(f));
+    scaler_.note(/*is_read=*/true, n ? n : 1);
+    return n;
+  }
+
   SnapshotT snapshot() const { return SnapshotT(this); }
+
+  // O(1) approximate entry count, maintained by the update paths; transient
+  // in-flight operations can make it momentarily off by their op count.
+  std::size_t approx_size() const {
+    const std::int64_t n = size_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
 
   // ---- introspection ------------------------------------------------------
 
@@ -561,10 +681,9 @@ class JiffyMap {
     for (Node* x = head_; x;) {
       Rev* r = x->rev.load(std::memory_order_seq_cst);
       if (r->sibling) ensure_link(x, r);
-      if (r->kind != RevKind::kAbsorbed &&
-          (!x->is_head || !r->entries.empty())) {
+      if (r->kind != RevKind::kAbsorbed && (!x->is_head || r->count != 0)) {
         ++s.node_count;
-        s.entry_count += r->entries.size();
+        s.entry_count += r->count;
       }
       x = x->next[0].load(std::memory_order_seq_cst);
     }
@@ -580,7 +699,7 @@ class JiffyMap {
     for (Node* x = head_; x;) {
       Rev* r = x->rev.load(std::memory_order_seq_cst);
       if (r->sibling) ensure_link(x, r);
-      n += r->entries.size();
+      n += r->count;
       x = x->next[0].load(std::memory_order_seq_cst);
     }
     return n;
@@ -588,6 +707,8 @@ class JiffyMap {
 
  private:
   friend class Snapshot<JiffyMap>;
+  template <class MapT>
+  friend class SnapCursor;
 
   // ---- location -----------------------------------------------------------
 
@@ -653,24 +774,61 @@ class JiffyMap {
   // Writers must start from a stamped, non-batch-pending head revision:
   // waiting out a pending batch keeps batch atomicity (a successor built
   // from an unstamped batch revision would leak it early), and stamping a
-  // pending plain head keeps per-node version chains monotonic. Returns the
-  // current head so the caller can detect that routing went stale and
-  // re-locate.
+  // pending plain head keeps per-node version chains monotonic. Blocked
+  // writers first try to help: a batch whose descriptor reports every
+  // install done, or a merge's final revision, only misses its stamp — any
+  // thread may supply it (the first half of ROADMAP "batch helping";
+  // replaying ops[installed..) of a half-installed batch is still future
+  // work). Returns the current head so the caller can detect that routing
+  // went stale and re-locate.
   Rev* wait_writable(Node* x, Rev* r) const {
     for (;;) {
       if (r->version_now() != kPendingVersion)
         return x->rev.load(std::memory_order_seq_cst);
-      if (r->reader_may_stamp()) {
-        r->stamp(clock_.read());
-        continue;
-      }
-      // Pending batch/merge: wait for its stamp, but keep re-reading the
-      // head — an aborted merge replaces its marker without ever stamping
-      // it, and spinning on the dead revision alone would hang.
+      if (try_help_stamp(r)) continue;
+      // Pending half-installed batch (or a marker whose merge may still
+      // abort): wait for the stamp, but keep re-reading the head — an
+      // aborted merge replaces its marker without ever stamping it, and
+      // spinning on the dead revision alone would hang.
       Rev* cur = x->rev.load(std::memory_order_seq_cst);
       if (cur != r) return cur;
       cpu_relax();
     }
+  }
+
+  // Help stamp r if its linearization only misses the stamp itself; false
+  // when r may still be rolled back or has installs outstanding. Cases:
+  //   * plain revisions and split parts (helpable cell): published by one
+  //     CAS, always stampable — and stamping them is part of the safety
+  //     argument (DESIGN.md §5);
+  //   * batch revisions: stampable once the published BatchDescriptor
+  //     reports ops fully installed. This closes a real atomicity hole: the
+  //     batch writer reads its stamp timestamp before the stamp CAS, so a
+  //     reader that skipped the pending revision could later observe the
+  //     (late) stamp at a timestamp below its own snapshot version and see
+  //     a torn batch. A reader that stamps with its own (newer) clock
+  //     instead resolves the batch to one side of its snapshot for
+  //     everyone;
+  //   * merge revisions: meeting one proves the merge's second and final
+  //     CAS landed (pending kMerge only ever appears at a node head, and
+  //     the rollback path never publishes it), so only the stamp is
+  //     missing; same late-stamp argument as batches;
+  //   * kAbsorbed markers: never — their merge may still abort.
+  bool try_help_stamp(Rev* r) const {
+    if (r->kind == RevKind::kAbsorbed) return false;
+    if (!r->cell) {
+      if (r->kind != RevKind::kPlain) return false;
+      r->stamp(clock_.read());
+      return true;
+    }
+    if (!r->cell->helpable && r->kind == RevKind::kBatch) {
+      auto* d = static_cast<BatchDescriptor<K, V>*>(r->cell->batch);
+      if (!d ||
+          d->installed.load(std::memory_order_seq_cst) != d->ops.size())
+        return false;
+    }
+    r->stamp(clock_.read());
+    return true;
   }
 
   // ---- installs -----------------------------------------------------------
@@ -688,9 +846,9 @@ class JiffyMap {
   // published atomically through the revision's sibling pointer.
   bool install_split(Node* x, Rev* r, const K* k, const V* v) {
     std::vector<Entry> merged;
-    merged.reserve(r->entries.size() + 1);
+    merged.reserve(r->count + 1);
     bool placed = (k == nullptr);
-    for (const Entry& e : r->entries) {
+    for (const Entry& e : r->entries()) {
       if (!placed && less_(*k, e.first)) {
         merged.emplace_back(*k, *v);
         placed = true;
@@ -719,8 +877,8 @@ class JiffyMap {
     // trail of half-full revisions behind the insertion front. Split
     // asymmetrically instead — keep the left part ~7/8 full — so loaded
     // ranges stay dense.
-    if (k && nparts == 2 && !r->entries.empty() &&
-        less_(r->entries.back().first, *k)) {
+    if (k && nparts == 2 && r->count != 0 &&
+        less_(r->entry(r->count - 1).first, *k)) {
       const std::uint32_t left =
           std::min<std::uint32_t>(total - 1, (maxsz / 8) * 7);
       if (left > 0 && total - left <= maxsz) {
@@ -754,6 +912,16 @@ class JiffyMap {
       chain = m;
       new_nodes.push_back(m);
     }
+    // Wire the backward hints before publication: each new part points to
+    // the part on its left (part 1 to x). new_nodes is ordered right-to-
+    // left, so walk it backwards.
+    {
+      Node* left = x;
+      for (std::size_t q = new_nodes.size(); q-- > 0;) {
+        new_nodes[q]->back.store(left, std::memory_order_relaxed);
+        left = new_nodes[q];
+      }
+    }
     RevisionBuilder<K, V, Hash> b0(RevKind::kPlain, parts[0].second,
                                    kPendingVersion, cfg_.hash_index);
     for (std::uint32_t e = parts[0].first; e < parts[0].second; ++e)
@@ -774,6 +942,10 @@ class JiffyMap {
       return false;
     }
     ensure_link(x, rlow);
+    // Tighten the old successor's back hint onto the rightmost new node
+    // (new_nodes[0]); stale hints only cost a longer forward re-walk.
+    if (old_next && !new_nodes.empty())
+      old_next->back.store(new_nodes[0], std::memory_order_release);
     rlow->stamp(clock_.read());
     const std::uint64_t b_v = cell->version.load(std::memory_order_seq_cst);
     for (Node* m : new_nodes) {
@@ -808,7 +980,8 @@ class JiffyMap {
         rs->version_now() == kPendingVersion)
       return;
     if (rs->sibling) ensure_link(s, rs);
-    const std::size_t combined = rx->entries.size() + rs->entries.size();
+    const std::size_t combined =
+        std::size_t{rx->count} + std::size_t{rs->count};
     if (combined == 0 || combined > (target * 7) / 10 || combined > 0xFFFF)
       return;
 
@@ -816,7 +989,7 @@ class JiffyMap {
     cell->helpable = false;
     cell->refs.store(1, std::memory_order_relaxed);  // writer's reference
 
-    auto* marker = new Rev;
+    auto* marker = Rev::allocate(0);
     marker->kind = RevKind::kAbsorbed;
     marker->cell = cell;
     cell->refs.fetch_add(1, std::memory_order_relaxed);
@@ -826,8 +999,8 @@ class JiffyMap {
     RevisionBuilder<K, V, Hash> b(RevKind::kMerge,
                                   static_cast<std::uint32_t>(combined),
                                   kPendingVersion, cfg_.hash_index);
-    for (const Entry& e : rx->entries) b.emit(e.first, e.second);
-    for (const Entry& e : rs->entries) b.emit(e.first, e.second);
+    for (const Entry& e : rx->entries()) b.emit(e.first, e.second);
+    for (const Entry& e : rs->entries()) b.emit(e.first, e.second);
     Rev* merged = b.finish();
     merged->cell = cell;
     cell->refs.fetch_add(1, std::memory_order_relaxed);
@@ -847,10 +1020,9 @@ class JiffyMap {
       // x changed under us: undo s by restoring its content over the
       // marker. Nobody else replaces a pending marker (writers spin on it,
       // other merges skip pending heads), so this CAS cannot fail.
-      RevisionBuilder<K, V, Hash> rb(
-          RevKind::kPlain, static_cast<std::uint32_t>(rs->entries.size()),
-          kPendingVersion, cfg_.hash_index);
-      for (const Entry& e : rs->entries) rb.emit(e.first, e.second);
+      RevisionBuilder<K, V, Hash> rb(RevKind::kPlain, rs->count,
+                                     kPendingVersion, cfg_.hash_index);
+      for (const Entry& e : rs->entries()) rb.emit(e.first, e.second);
       Rev* restore = rb.finish();
       restore->prev = marker;
       Rev* fe = marker;
@@ -878,11 +1050,10 @@ class JiffyMap {
   Rev* build_batch_rev(Rev* r, const std::vector<BatchOp<K, V>>& ops,
                        std::size_t i, std::size_t j, VersionCell* cell) {
     RevisionBuilder<K, V, Hash> b(
-        RevKind::kBatch,
-        static_cast<std::uint32_t>(r->entries.size() + (j - i)),
+        RevKind::kBatch, static_cast<std::uint32_t>(r->count + (j - i)),
         kPendingVersion, cfg_.hash_index);
-    auto it = r->entries.begin();
-    const auto end = r->entries.end();
+    const Entry* it = r->begin();
+    const Entry* const end = r->end();
     for (std::size_t o = i; o < j; ++o) {
       while (it != end && less_(it->first, ops[o].key)) {
         b.emit(it->first, it->second);
@@ -905,39 +1076,72 @@ class JiffyMap {
     return nr;
   }
 
+  // k's entry under current routing, nullptr when absent (backs get() and
+  // contains(); the caller must hold an ebr::Guard and copy out under it).
+  // A pending head revision is either stampable right now (plain heads; and
+  // batch/merge heads whose installs all landed — see try_help_stamp, which
+  // closes the late-stamp atomicity hole) or not linearized yet, in which
+  // case read the state before it through prev (its predecessor is always
+  // stamped). Stamping before returning contents matters: otherwise a
+  // snapshot taken after this read could be versioned below the (late)
+  // stamp and miss a value the read already observed.
+  const Entry* find_live(const K& k) const {
+    for (;;) {
+      auto [x, r] = locate(k);
+      while (r && r->version_now() == kPendingVersion && !try_help_stamp(r))
+        r = r->prev;
+      if (!r) return nullptr;
+      // locate() may hand us a merge marker that was pending then and got
+      // stamped since: the merge committed and k now lives in the absorber,
+      // so re-route rather than miss on the marker's empty array.
+      if (r->kind == RevKind::kAbsorbed) continue;
+      return r->find(k, fold_hash16(hash_(k)), less_);
+    }
+  }
+
   // ---- versioned reads ----------------------------------------------------
 
   // Newest revision in r's chain with version <= v. Helps stamp pending
-  // plain revisions (required for reclamation safety, see DESIGN.md §5);
-  // pending batch revisions are not yet linearized and are skipped.
+  // revisions whose linearization is complete (required for reclamation
+  // safety and batch/merge consistency, see try_help_stamp); pending
+  // half-installed batches are not yet linearized and are skipped.
   Rev* visible_rev(Rev* r, std::uint64_t v) const {
     while (r) {
       std::uint64_t t = r->version_now();
-      if (t == kPendingVersion && r->reader_may_stamp()) {
-        r->stamp(clock_.read());
-        t = r->version_now();
-      }
+      if (t == kPendingVersion && try_help_stamp(r)) t = r->version_now();
       if (t <= v) return r;  // pending (== ~0) is never <= v
       r = r->prev;
     }
     return nullptr;
   }
 
-  // Last node with anchor <= from that held its range at version v: born at
-  // or before v (conservative: a node whose birth stamp is still propagating
-  // is treated as too new, which only moves the scan start left, never loses
-  // entries) and not yet absorbed at v (a node dead at v moved its content
-  // into a node further left — starting at the tombstone would skip it).
+  // Did node n hold its range at version v: born at or before v and not
+  // absorbed at v (a node dead at v moved its content into a node further
+  // left). One subtlety keeps this precise rather than conservative: a
+  // split part's birth stamp is stored only *after* the shared cell is
+  // stamped, so a node's entries can already be visible at v while its
+  // birth still reads pending — in that window, ask the revision chain
+  // itself (visible_rev is the ground truth scans use). Precision matters
+  // for the reverse walk: unlike a forward scan, which visits every linked
+  // node and lets visible_rev decide, pred_at uses this predicate to pick
+  // the nearest contributing node, and a miss there loses entries; the
+  // dead-at-v arm must stay exact too, or equal-anchor tombstone/rebirth
+  // chains would hide a live holder behind a dead one.
+  bool held_at(Node* n, std::uint64_t v) const {
+    Rev* h = n->rev.load(std::memory_order_seq_cst);
+    if (h->sibling) ensure_link(n, h);
+    if (h->kind == RevKind::kAbsorbed && h->version_now() <= v) return false;
+    const std::uint64_t b = n->birth.load(std::memory_order_seq_cst);
+    if (b != kPendingVersion) return b <= v;
+    return visible_rev(h, v) != nullptr;  // birth stamp still propagating
+  }
+
+  // Last node with anchor <= from that held its range at version v.
   Node* position(const K& from, std::uint64_t v) const {
-    auto held_range_at = [&](Node* n) {
-      if (n->birth.load(std::memory_order_seq_cst) > v) return false;
-      Rev* r = n->rev.load(std::memory_order_seq_cst);
-      return !(r->kind == RevKind::kAbsorbed && r->version_now() <= v);
-    };
     Node* x = head_;
     for (int l = Node::kMaxHeight - 1; l >= 1; --l) {
       for (Node* nxt = x->next[l].load(std::memory_order_acquire);
-           nxt && !less_(from, nxt->anchor) && held_range_at(nxt);
+           nxt && !less_(from, nxt->anchor) && held_at(nxt, v);
            nxt = x->next[l].load(std::memory_order_acquire))
         x = nxt;
     }
@@ -945,9 +1149,7 @@ class JiffyMap {
     for (Node* cur = x->next[0].load(std::memory_order_seq_cst);
          cur && !less_(from, cur->anchor);
          cur = cur->next[0].load(std::memory_order_seq_cst)) {
-      Rev* r = cur->rev.load(std::memory_order_seq_cst);
-      if (r->sibling) ensure_link(cur, r);
-      if (held_range_at(cur)) best = cur;
+      if (held_at(cur, v)) best = cur;
     }
     return best;
   }
@@ -964,10 +1166,10 @@ class JiffyMap {
       Rev* head = x->rev.load(std::memory_order_seq_cst);
       if (head->sibling) ensure_link(x, head);
       if (Rev* r = visible_rev(head, v)) {
-        auto it = std::lower_bound(
-            r->entries.begin(), r->entries.end(), from,
+        const Entry* it = std::lower_bound(
+            r->begin(), r->end(), from,
             [&](const Entry& e, const K& key) { return less_(e.first, key); });
-        for (; it != r->entries.end() && emitted < n; ++it) {
+        for (; it != r->end() && emitted < n; ++it) {
           if (last && !less_(*last, it->first)) continue;
           f(it->first, it->second);
           last = &it->first;
@@ -979,12 +1181,89 @@ class JiffyMap {
     return emitted;
   }
 
+  // Versioned point lookup: invoke f on k's entry at version v, if present
+  // (backs get_at and Snapshot::contains).
+  template <class F>
+  void with_entry_at(const K& k, std::uint64_t v, F&& f) const {
+    scan_at(k, 1, v, [&](const K& key, const V& val) {
+      if (!less_(k, key) && !less_(key, k)) f(key, val);
+    });
+  }
+
   std::optional<V> get_at(const K& k, std::uint64_t v) const {
     std::optional<V> out;
-    scan_at(k, 1, v, [&](const K& key, const V& val) {
-      if (!less_(k, key) && !less_(key, k)) out = val;
-    });
+    with_entry_at(k, v, [&](const K&, const V& val) { out = val; });
     return out;
+  }
+
+  // Consistent descending visit of up to n entries <= from at version v,
+  // driven by the reverse cursor (which walks the backward links).
+  template <class F>
+  std::size_t rscan_at(const K& from, std::size_t n, std::uint64_t v,
+                       F&& f) const {
+    SnapCursor<JiffyMap> c(this, v);
+    std::size_t emitted = 0;
+    for (c.seek_for_prev(from); c.valid() && emitted < n; c.prev()) {
+      f(c.key(), c.value());
+      ++emitted;
+    }
+    return emitted;
+  }
+
+  // Consistent ordered visit of every entry in [lo, hi) at version v.
+  template <class F>
+  std::size_t range_at(const K& lo, const K& hi, std::uint64_t v,
+                       F&& f) const {
+    SnapCursor<JiffyMap> c(this, v);
+    std::size_t emitted = 0;
+    for (c.seek(lo); c.in_range_below(hi); c.next()) {
+      f(c.key(), c.value());
+      ++emitted;
+    }
+    return emitted;
+  }
+
+  // Nearest node left of x that held its range at version v (nullptr when x
+  // is the head). Backward links are hints that only promise a strict list
+  // predecessor (see JiffyNode::back), so: follow them to a node alive at
+  // v, then tighten with a forward walk — every node between the hint and x
+  // is on the level-0 chain because nodes are never physically unlinked.
+  // Reverse traversal therefore inherits the forward walk's
+  // version-visibility rules; the hints only buy locality.
+  Node* pred_at(Node* x, std::uint64_t v) const {
+    if (x == head_) return nullptr;
+    Node* hint = x->back.load(std::memory_order_acquire);
+    Node* p = hint ? hint : head_;
+    while (p != head_ && !held_at(p, v)) {
+      Node* q = p->back.load(std::memory_order_acquire);
+      p = q ? q : head_;
+    }
+    Node* best = p;  // the head held every version; p held v by the loop
+    for (Node* cur = p->next[0].load(std::memory_order_seq_cst);
+         cur && less_(cur->anchor, x->anchor);
+         cur = cur->next[0].load(std::memory_order_seq_cst)) {
+      if (held_at(cur, v)) best = cur;
+    }
+    if (best != hint)
+      x->back.store(best, std::memory_order_release);  // tighten the hint
+    return best;
+  }
+
+  // Rightmost node currently linked (completing pending split links on the
+  // way so the fringe is reachable); seeds seek_to_last.
+  Node* rightmost() const {
+    Node* x = head_;
+    for (int l = Node::kMaxHeight - 1; l >= 1; --l)
+      for (Node* nxt = x->next[l].load(std::memory_order_acquire); nxt;
+           nxt = x->next[l].load(std::memory_order_acquire))
+        x = nxt;
+    for (;;) {
+      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      if (r->sibling) ensure_link(x, r);
+      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
+      if (!nxt) return x;
+      x = nxt;
+    }
   }
 
   // ---- misc ---------------------------------------------------------------
@@ -1037,29 +1316,299 @@ class JiffyMap {
   Hash hash_{};
   Clock clock_{};
   mutable RevisionAutoscaler scaler_;
+  std::atomic<std::int64_t> size_{0};
   Node* head_;
 };
 
-// A consistent point-in-time view. Holds an EBR guard for its lifetime, so
-// the revision chains backing `version()` stay reachable; keep snapshots
-// short-lived or expect retired garbage to accumulate.
+// A bidirectional, RocksDB-style cursor over one consistent version of a
+// JiffyMap. Normally obtained from a Snapshot (seek / seek_for_prev / first
+// / last); constructing one directly requires a version read under a live
+// EBR guard. The cursor holds its own (nested, refcounted) guard, so it
+// remains safe for its whole lifetime provided it is created while the
+// snapshot — or the guard the version was read under — is still alive: the
+// nested guard keeps this thread's epoch pinned continuously.
+//
+// Positioning: seek(k) lands on the first key >= k, seek_for_prev(k) on the
+// last key <= k, seek_to_first / seek_to_last on the extremes; next() and
+// prev() then step in either direction. Every landing obeys the TSC-version
+// visibility rules of forward scans: per node the newest revision with
+// version <= v (helping stamp pending plain revisions), nodes born after v
+// or absorbed at v contribute nothing, and the strict key bound on every
+// node hop deduplicates the transient split/merge overlap windows in both
+// directions. Reverse hops go through JiffyMap::pred_at (backward links).
+template <class MapT>
+class SnapCursor {
+ public:
+  using K = typename MapT::key_type;
+  using V = typename MapT::mapped_type;
+
+  SnapCursor(const MapT* m, std::uint64_t version) : map_(m), v_(version) {}
+
+  SnapCursor(const SnapCursor& o)
+      : map_(o.map_), v_(o.v_), node_(o.node_), rev_(o.rev_), idx_(o.idx_),
+        valid_(o.valid_) {}
+
+  SnapCursor& operator=(const SnapCursor& o) {
+    map_ = o.map_;
+    v_ = o.v_;
+    node_ = o.node_;
+    rev_ = o.rev_;
+    idx_ = o.idx_;
+    valid_ = o.valid_;
+    return *this;  // guard_ keeps its own pin
+  }
+
+  bool valid() const { return valid_; }
+  const K& key() const {
+    assert(valid_);
+    return rev_->entry(idx_).first;
+  }
+  const V& value() const {
+    assert(valid_);
+    return rev_->entry(idx_).second;
+  }
+  std::uint64_t version() const { return v_; }
+
+  // true while valid and ordered before `hi` — the half-open range test.
+  bool in_range_below(const K& hi) const {
+    return valid_ && map_->less_(key(), hi);
+  }
+
+  void seek(const K& k) {
+    land_forward(map_->position(k, v_), &k, /*inclusive=*/true);
+  }
+
+  void seek_for_prev(const K& k) {
+    land_backward(map_->position(k, v_), &k, /*inclusive=*/true);
+  }
+
+  void seek_to_first() { land_forward(map_->head_, nullptr, true); }
+  void seek_to_last() { land_backward(map_->rightmost(), nullptr, true); }
+
+  void next() {
+    if (!valid_) return;  // stepping an invalid cursor is a no-op
+    // Entries are unique and sorted within a revision, so the next entry in
+    // this revision is the successor key; otherwise continue in later nodes
+    // excluding keys <= current (split-overlap dedup).
+    if (idx_ + 1 < rev_->count) {
+      ++idx_;
+      return;
+    }
+    const K cur = key();
+    land_forward(node_->next[0].load(std::memory_order_seq_cst), &cur,
+                 /*inclusive=*/false);
+  }
+
+  void prev() {
+    if (!valid_) return;  // stepping an invalid cursor is a no-op
+    if (idx_ > 0) {
+      --idx_;
+      return;
+    }
+    const K cur = key();
+    land_backward(map_->pred_at(node_, v_), &cur, /*inclusive=*/false);
+  }
+
+ private:
+  using Node = typename MapT::Node;
+  using Rev = typename MapT::Rev;
+  using Entry = typename Rev::Entry;
+
+  void set(Node* x, Rev* r, std::uint32_t i) {
+    node_ = x;
+    rev_ = r;
+    idx_ = i;
+    valid_ = true;
+  }
+
+  // The node's visible revision at v (completing pending split links first).
+  Rev* visible_head(Node* x) const {
+    Rev* h = x->rev.load(std::memory_order_seq_cst);
+    if (h->sibling) map_->ensure_link(x, h);
+    return map_->visible_rev(h, v_);
+  }
+
+  // Land on the first visible entry >= *bound (> when !inclusive) in x or
+  // any node to its right; invalidate when none exists.
+  void land_forward(Node* x, const K* bound, bool inclusive) {
+    auto el = [this](const Entry& e, const K& k) {
+      return map_->less_(e.first, k);
+    };
+    auto le = [this](const K& k, const Entry& e) {
+      return map_->less_(k, e.first);
+    };
+    for (; x; x = x->next[0].load(std::memory_order_seq_cst)) {
+      if (Rev* r = visible_head(x)) {
+        std::uint32_t i = 0;
+        if (bound) {
+          const Entry* it =
+              inclusive ? std::lower_bound(r->begin(), r->end(), *bound, el)
+                        : std::upper_bound(r->begin(), r->end(), *bound, le);
+          i = static_cast<std::uint32_t>(it - r->begin());
+        }
+        if (i < r->count) {
+          set(x, r, i);
+          return;
+        }
+      }
+    }
+    valid_ = false;
+  }
+
+  // Land on the last visible entry <= *bound (< when !inclusive) in x or
+  // any node to its left; invalidate when none exists.
+  void land_backward(Node* x, const K* bound, bool inclusive) {
+    auto el = [this](const Entry& e, const K& k) {
+      return map_->less_(e.first, k);
+    };
+    auto le = [this](const K& k, const Entry& e) {
+      return map_->less_(k, e.first);
+    };
+    for (; x; x = map_->pred_at(x, v_)) {
+      if (Rev* r = visible_head(x)) {
+        std::uint32_t i = r->count;
+        if (bound) {
+          const Entry* it =
+              inclusive ? std::upper_bound(r->begin(), r->end(), *bound, le)
+                        : std::lower_bound(r->begin(), r->end(), *bound, el);
+          i = static_cast<std::uint32_t>(it - r->begin());
+        }
+        if (i > 0) {
+          set(x, r, i - 1);
+          return;
+        }
+      }
+    }
+    valid_ = false;
+  }
+
+  const MapT* map_;
+  std::uint64_t v_;
+  ebr::Guard guard_;
+  Node* node_ = nullptr;
+  Rev* rev_ = nullptr;
+  std::uint32_t idx_ = 0;
+  bool valid_ = false;
+};
+
+// A consistent point-in-time view: the first-class handle for versioned
+// reads. Holds an EBR guard for its lifetime, so the revision chains
+// backing `version()` stay reachable; keep snapshots short-lived or expect
+// retired garbage to accumulate. Beyond point gets and bounded scans it
+// hands out bidirectional cursors and half-open range views, all reading at
+// the same frozen version. Snapshots and the cursors they produce pin the
+// creating thread's epoch — create cursors while the snapshot is alive.
 template <class MapT>
 class Snapshot {
  public:
+  using K = typename MapT::key_type;
+  using V = typename MapT::mapped_type;
+  using Cursor = SnapCursor<MapT>;
+
   explicit Snapshot(const MapT* m)
       : map_(m), version_(m->clock_.read()) {}
 
   std::uint64_t version() const { return version_; }
 
-  std::optional<typename MapT::mapped_type> get(
-      const typename MapT::key_type& k) const {
-    return map_->get_at(k, version_);
+  std::optional<V> get(const K& k) const { return map_->get_at(k, version_); }
+
+  // Membership without materializing the value.
+  bool contains(const K& k) const {
+    bool found = false;
+    map_->with_entry_at(k, version_, [&](const K&, const V&) { found = true; });
+    return found;
   }
 
   template <class F>
-  std::size_t scan_n(const typename MapT::key_type& from, std::size_t n,
-                     F&& f) const {
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
     return map_->scan_at(from, n, version_, std::forward<F>(f));
+  }
+
+  template <class F>
+  std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
+    return map_->rscan_at(from, n, version_, std::forward<F>(f));
+  }
+
+  // ---- cursors ------------------------------------------------------------
+
+  Cursor cursor() const { return Cursor(map_, version_); }  // unpositioned
+
+  Cursor seek(const K& k) const {
+    Cursor c(map_, version_);
+    c.seek(k);
+    return c;
+  }
+
+  Cursor seek_for_prev(const K& k) const {
+    Cursor c(map_, version_);
+    c.seek_for_prev(k);
+    return c;
+  }
+
+  Cursor first() const {
+    Cursor c(map_, version_);
+    c.seek_to_first();
+    return c;
+  }
+
+  Cursor last() const {
+    Cursor c(map_, version_);
+    c.seek_to_last();
+    return c;
+  }
+
+  // ---- half-open range views ----------------------------------------------
+
+  // STL-style forward view of [lo, hi) at the snapshot version:
+  //   for (auto [k, v] : snap.range(lo, hi)) ...
+  // Holds its own EBR guard: in C++20 a range-for over
+  // `map.snapshot().range(lo, hi)` destroys the Snapshot temporary before
+  // begin() runs (temporary lifetime extension in range-for is C++23), so
+  // the view itself must keep the epoch pinned from construction on.
+  class Range {
+   public:
+    struct Sentinel {};
+
+    Range(const Range& o) : map_(o.map_), v_(o.v_), lo_(o.lo_), hi_(o.hi_) {}
+
+    class Iterator {
+     public:
+      std::pair<const K&, const V&> operator*() const {
+        return {c_.key(), c_.value()};
+      }
+      Iterator& operator++() {
+        c_.next();
+        return *this;
+      }
+      bool operator==(Sentinel) const { return !c_.in_range_below(hi_); }
+      bool operator!=(Sentinel s) const { return !(*this == s); }
+
+     private:
+      friend class Range;
+      Iterator(const MapT* m, std::uint64_t v, const K& lo, const K& hi)
+          : hi_(hi), c_(m, v) {
+        c_.seek(lo);
+      }
+      K hi_;
+      Cursor c_;
+    };
+
+    Iterator begin() const { return Iterator(map_, v_, lo_, hi_); }
+    Sentinel end() const { return Sentinel{}; }
+
+   private:
+    friend class Snapshot;
+    Range(const MapT* m, std::uint64_t v, K lo, K hi)
+        : map_(m), v_(v), lo_(std::move(lo)), hi_(std::move(hi)) {}
+    const MapT* map_;
+    std::uint64_t v_;
+    ebr::Guard guard_;
+    K lo_;
+    K hi_;
+  };
+
+  Range range(const K& lo, const K& hi) const {
+    return Range(map_, version_, lo, hi);
   }
 
  private:

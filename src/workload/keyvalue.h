@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,36 @@ struct BatchOp {
     return BatchOp{Kind::kPut, std::move(k), std::move(v)};
   }
   static BatchOp remove(K k) { return BatchOp{Kind::kRemove, std::move(k), V{}}; }
+};
+
+// Typed builder for an atomic batch — the only currency the map APIs accept
+// for multi-op updates (`Batch b; b.put(k, v); b.erase(k); map.apply(b)`).
+// Ops are recorded in call order; the map sorts and deduplicates them (last
+// wins per key) on apply and publishes the final list in the installed batch
+// descriptor, so a stalled batch can in principle be completed by helpers.
+template <class K, class V>
+class Batch {
+ public:
+  Batch& put(K k, V v) {
+    ops_.push_back(BatchOp<K, V>::put(std::move(k), std::move(v)));
+    return *this;
+  }
+
+  Batch& erase(K k) {
+    ops_.push_back(BatchOp<K, V>::remove(std::move(k)));
+    return *this;
+  }
+
+  void reserve(std::size_t n) { ops_.reserve(n); }
+  void clear() { ops_.clear(); }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  const std::vector<BatchOp<K, V>>& ops() const& { return ops_; }
+  std::vector<BatchOp<K, V>> take() && { return std::move(ops_); }
+
+ private:
+  std::vector<BatchOp<K, V>> ops_;
 };
 
 }  // namespace jiffy

@@ -16,7 +16,7 @@ using namespace jiffy;
 namespace {
 
 using Map = JiffyMap<std::uint64_t, std::uint64_t>;
-using Op = BatchOp<std::uint64_t, std::uint64_t>;
+using B = Batch<std::uint64_t, std::uint64_t>;
 
 void test_sequential() {
   JiffyConfig cfg;
@@ -25,15 +25,15 @@ void test_sequential() {
   Map m(cfg);
   for (std::uint64_t i = 0; i < 1'000; ++i) m.put(splitmix64(i), 1);
 
-  // Mixed put/remove batch.
-  std::vector<Op> ops;
+  // Mixed put/erase batch through the typed builder.
+  B ops;
   for (std::uint64_t i = 0; i < 500; ++i) {
     if (i % 2 == 0)
-      ops.push_back(Op::put(splitmix64(i), 100 + i));
+      ops.put(splitmix64(i), 100 + i);
     else
-      ops.push_back(Op::remove(splitmix64(i)));
+      ops.erase(splitmix64(i));
   }
-  m.batch(std::move(ops));
+  m.apply(std::move(ops));
   for (std::uint64_t i = 0; i < 500; ++i) {
     auto got = m.get(splitmix64(i));
     if (i % 2 == 0) {
@@ -46,17 +46,12 @@ void test_sequential() {
   for (std::uint64_t i = 500; i < 1'000; ++i) CHECK(m.get(splitmix64(i)).has_value());
 
   // Last-wins per key within one batch, regardless of submission order.
-  std::vector<Op> dup;
-  dup.push_back(Op::put(7, 1));
-  dup.push_back(Op::remove(7));
-  dup.push_back(Op::put(7, 3));
-  dup.push_back(Op::put(9, 1));
-  dup.push_back(Op::put(9, 2));
-  dup.push_back(Op::remove(11));
-  dup.push_back(Op::put(11, 5));
-  dup.push_back(Op::put(13, 1));
-  dup.push_back(Op::remove(13));
-  m.batch(std::move(dup));
+  B dup;
+  dup.put(7, 1).erase(7).put(7, 3);
+  dup.put(9, 1).put(9, 2);
+  dup.erase(11).put(11, 5);
+  dup.put(13, 1).erase(13);
+  m.apply(std::move(dup));
   CHECK_EQ(*m.get(7), std::uint64_t{3});
   CHECK_EQ(*m.get(9), std::uint64_t{2});
   CHECK_EQ(*m.get(11), std::uint64_t{5});
@@ -64,9 +59,12 @@ void test_sequential() {
 
   // Batch on an empty map / empty batch.
   Map m2;
-  m2.batch({});
-  m2.batch({Op::put(1, 1), Op::put(2, 2)});
+  m2.apply({});
+  B two;
+  two.put(1, 1).put(2, 2);
+  m2.apply(std::move(two));
   CHECK_EQ(m2.size_slow(), std::size_t{2});
+  CHECK_EQ(m2.approx_size(), std::size_t{2});
 }
 
 // One writer applies batches that set a *group* of keys to the same nonce;
@@ -90,19 +88,19 @@ void test_concurrent_atomicity() {
     Rng rng(1);
     for (std::uint64_t nonce = 1; !stop.load(std::memory_order_relaxed);
          ++nonce) {
-      std::vector<Op> ops;
+      B ops;
       ops.reserve(kGroup + 4);
       for (std::uint64_t i = 0; i < kGroup; ++i)
-        ops.push_back(Op::put(splitmix64(i), nonce));
+        ops.put(splitmix64(i), nonce);
       // Unrelated churn mixed into the same batch.
       for (int j = 0; j < 4; ++j) {
         const std::uint64_t k = splitmix64(100 + rng.next_below(kSpace));
         if (rng.next_bool(0.5))
-          ops.push_back(Op::put(k, nonce));
+          ops.put(k, nonce);
         else
-          ops.push_back(Op::remove(k));
+          ops.erase(k);
       }
-      m.batch(std::move(ops));
+      m.apply(std::move(ops));
     }
   });
 
@@ -152,9 +150,9 @@ void test_scan_sees_whole_batch() {
   std::thread writer([&] {
     for (std::uint64_t nonce = 1; !stop.load(std::memory_order_relaxed);
          ++nonce) {
-      std::vector<Op> ops;
-      for (std::uint64_t k = 0; k < kGroup; ++k) ops.push_back(Op::put(k, nonce));
-      m.batch(std::move(ops));
+      B ops;
+      for (std::uint64_t k = 0; k < kGroup; ++k) ops.put(k, nonce);
+      m.apply(std::move(ops));
     }
   });
 

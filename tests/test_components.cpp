@@ -107,7 +107,7 @@ void test_revision_builder() {
     Bld b(RevKind::kPlain, n, /*version=*/1);
     for (std::uint32_t i = 0; i < n; ++i) b.emit(i * 3, i + 1);
     Rev* r = b.finish();
-    CHECK_EQ(r->entries.size(), std::size_t{n});
+    CHECK_EQ(r->entries().size(), std::size_t{n});
     for (std::uint32_t i = 0; i < n; ++i) {
       const auto key = std::uint64_t{i} * 3;
       const auto h = fold_hash16(std::hash<std::uint64_t>{}(key));

@@ -19,7 +19,7 @@ using namespace jiffy;
 namespace {
 
 using Map = JiffyMap<std::uint64_t, std::uint64_t>;
-using Op = BatchOp<std::uint64_t, std::uint64_t>;
+using B = Batch<std::uint64_t, std::uint64_t>;
 
 void phase_disjoint(Map& m) {
   constexpr int kThreads = 4;
@@ -46,19 +46,19 @@ void phase_disjoint(Map& m) {
             shadow.erase(k);
             break;
           case 3: {
-            std::vector<Op> ops;
+            B ops;
             for (int j = 0; j < 8; ++j) {
               const std::uint64_t bk = base + rng.next_below(kPerThread);
               if (rng.next_bool(0.7)) {
                 const std::uint64_t v = rng.next();
-                ops.push_back(Op::put(bk, v));
+                ops.put(bk, v);
                 shadow[bk] = v;
               } else {
-                ops.push_back(Op::remove(bk));
+                ops.erase(bk);
                 shadow.erase(bk);
               }
             }
-            m.batch(std::move(ops));
+            m.apply(std::move(ops));
             break;
           }
           default: {
@@ -110,15 +110,15 @@ void phase_shared(Map& m) {
             m.erase(k);
             break;
           case 3: {
-            std::vector<Op> ops;
+            B ops;
             for (int j = 0; j < 16; ++j) {
               const std::uint64_t bk = splitmix64(rng.next_below(kSpace));
               if (rng.next_bool(0.5))
-                ops.push_back(Op::put(bk, rng.next()));
+                ops.put(bk, rng.next());
               else
-                ops.push_back(Op::remove(bk));
+                ops.erase(bk);
             }
-            m.batch(std::move(ops));
+            m.apply(std::move(ops));
             break;
           }
           case 4: {
