@@ -410,8 +410,8 @@ void run_figure(const char* figure, const char* kv_shape,
     // Simple put/remove row: every index (Figure top rows).
     cfg.batch = BatchMode{};
     if (index_enabled("jiffy")) run_index<K, V, JiffyAdapter<K, V>>(cfg, "jiffy");
-    if (index_enabled("snaptree"))
-      run_index<K, V, SnapTreeAdapter<K, V>>(cfg, "snaptree");
+    if (index_enabled("lf-list"))
+      run_index<K, V, LfListAdapter<K, V>>(cfg, "lf-list");
     if (index_enabled("k-ary")) run_index<K, V, KaryAdapter<K, V>>(cfg, "k-ary");
     if (index_enabled("ca-avl"))
       run_index<K, V, CaAvlAdapter<K, V>>(cfg, "ca-avl");

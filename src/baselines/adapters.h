@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "baselines/cslm.h"
+#include "baselines/lf_list.h"
 #include "baselines/locked_map.h"
 #include "baselines/registry.h"
 #include "core/jiffy.h"
@@ -112,6 +113,35 @@ class CslmAdapter {
   baselines::CslmMap<K, V> map_;
 };
 
+template <class K, class V>
+class LfListAdapter {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  bool put(const K& k, const V& v) { return map_.put(k, v); }
+  bool erase(const K& k) { return map_.erase(k); }
+  std::optional<V> get(const K& k) const { return map_.get(k); }
+  bool contains(const K& k) const { return map_.contains(k); }
+  std::size_t approx_size() const { return map_.approx_size(); }
+  void apply(Batch<K, V> b) { map_.apply(std::move(b)); }
+  template <class F>
+  std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
+    return map_.scan_n(from, n, std::forward<F>(f));
+  }
+  template <class F>
+  std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
+    return map_.rscan_n(from, n, std::forward<F>(f));
+  }
+  template <class F>
+  std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
+    return map_.range_scan(lo, hi, std::forward<F>(f));
+  }
+
+ private:
+  baselines::LfList<K, V> map_;
+};
+
 // Stub adapters: distinct types (so the harness's per-index template
 // instantiations stay separate in profiles) over the LockedMap stand-in.
 // Replace one by giving it a real `map_` — the harness needs no change.
@@ -145,7 +175,6 @@ class StubAdapter {
 };
 
 namespace baselines::tags {
-struct SnapTree {};
 struct Kary {};
 struct CaAvl {};
 struct CaSl {};
@@ -154,8 +183,6 @@ struct Lfca {};
 struct Kiwi {};
 }  // namespace baselines::tags
 
-template <class K, class V>
-using SnapTreeAdapter = StubAdapter<K, V, baselines::tags::SnapTree>;
 template <class K, class V>
 using KaryAdapter = StubAdapter<K, V, baselines::tags::Kary>;
 template <class K, class V>
@@ -171,6 +198,7 @@ using KiwiAdapter = StubAdapter<K, V, baselines::tags::Kiwi>;
 
 static_assert(MapApi<JiffyAdapter<std::uint64_t, std::uint64_t>>);
 static_assert(MapApi<CslmAdapter<std::uint64_t, std::uint64_t>>);
-static_assert(MapApi<SnapTreeAdapter<std::uint64_t, std::uint64_t>>);
+static_assert(MapApi<LfListAdapter<std::uint64_t, std::uint64_t>>);
+static_assert(MapApi<KaryAdapter<std::uint64_t, std::uint64_t>>);
 
 }  // namespace jiffy

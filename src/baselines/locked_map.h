@@ -1,6 +1,7 @@
 // Mutex-guarded std::map used as the stand-in implementation behind the
-// paper baselines that have not been ported yet (snaptree, k-ary, the CA
-// trees, lfca, kiwi). It is sequentially correct — including atomic batches
+// paper baselines that have not been ported yet (k-ary, the CA trees, lfca,
+// kiwi; snaptree's slot is now the native lf_list.h). It is sequentially
+// correct — including atomic batches
 // and consistent scans, both trivially, under the lock — but represents a
 // lower bound on concurrency, so its numbers are labelled as stubs by the
 // adapter registry and must not be read as the paper baselines' performance.

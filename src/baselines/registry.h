@@ -1,10 +1,12 @@
 // Compile-time registry of the benchmark indices (paper §4.1).
 //
 // `kind` records how honestly each adapter reproduces the paper baseline:
-//   kNative — a real implementation lives in this tree;
+//   kNative — a real implementation lives in this tree (jiffy, cslm, and
+//             the lf-list differential reference);
 //   kStub   — compiles and runs behind a LockedMap so every figure harness
 //             links today, but its rows measure the stub, not the paper's
-//             baseline. run_all.sh only sweeps native indices by default.
+//             baseline. run_all.sh only sweeps native indices by default
+//             (lf-list stays out of the sweep too: O(n) searches).
 // Porting order for the stubs is tracked in ROADMAP.md.
 #pragma once
 
@@ -30,8 +32,8 @@ inline constexpr AdapterInfo kAdapterRegistry[] = {
      true, true},
     {"cslm", "lock-free skip list, Herlihy-Shavit style (Java CSLM analogue)",
      AdapterKind::kNative, false, false},
-    {"snaptree", "Bronson et al. snapshot AVL tree", AdapterKind::kStub,
-     false, true},
+    {"lf-list", "Fomitchev-Ruppert lock-free linked list",
+     AdapterKind::kNative, false, false},
     {"k-ary", "Brown-Helga lock-free k-ary search tree", AdapterKind::kStub,
      false, true},
     {"ca-avl", "contention-adapting AVL tree", AdapterKind::kStub, true,

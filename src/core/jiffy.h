@@ -22,9 +22,11 @@
 //     after the last install: the whole batch becomes visible atomically.
 //     The sorted, deduplicated op list is published in a BatchDescriptor
 //     hanging off the cell (the helping hook). Readers treat a pending batch
-//     revision as not-yet-linearized and read through `prev`; writers wait
-//     for the stamp (completing a stalled batch from the descriptor is
-//     future work).
+//     revision as not-yet-linearized and read through `prev`; writers that
+//     meet a pending half-installed batch *help*: they replay
+//     ops[installed..) from the descriptor through the same run_batch()
+//     loop the owner uses, so a stalled (even killed) batch writer never
+//     blocks anyone (DESIGN.md §6).
 //   * Nodes carry backward links (the paper's list is doubly linked): `back`
 //     is a best-effort hint to a strict list-predecessor, re-validated by a
 //     forward walk, powering reverse cursors and rscan_n under the same
@@ -35,6 +37,14 @@
 //   * Revision size is either fixed or driven by a time-weighted EMA of the
 //     read fraction (§3.3.6): small revisions for update-heavy phases, large
 //     ones for lookup-heavy phases.
+//   * Merge tombstones are physically reclaimed by a cooperative purge()
+//     pass once their death version drops below the oldest active version
+//     ticket (snapshots, cursors, in-flight scans — see ebr::VersionTicket
+//     and DESIGN.md §9). Until then routing skips them and old snapshots
+//     keep reading through their markers.
+//   * The protocol windows (install→stamp, marker→union, group→watermark)
+//     carry named schedule points (schedule_points.h): free in release
+//     builds, fault-injection hooks in test builds.
 #pragma once
 
 #include <algorithm>
@@ -51,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/schedule_points.h"
 #include "ebr/ebr.h"
 #include "tsc/clock.h"
 #include "workload/keyvalue.h"
@@ -97,8 +108,12 @@ struct VersionCell {
 // Published description of an in-flight atomic batch (§3.4): the sorted,
 // last-wins-deduplicated op list plus the install watermark. Reachable from
 // any installed kBatch revision as rev->cell->batch — this is the helping
-// hook: a writer blocked on a pending batch revision can see the whole op
-// list and (future work) replay ops[installed..) itself instead of spinning.
+// hook: a thread blocked on a pending batch revision replays ops[installed..)
+// itself through JiffyMap::run_batch instead of spinning. The watermark only
+// ever moves forward, by compare-exchange, from one group boundary to the
+// next (every mover learned the target boundary from the installed
+// revision's batch_hi or computed it from the same stable successor), so
+// racing helpers agree on every transition.
 template <class K, class V>
 struct BatchDescriptor {
   std::vector<BatchOp<K, V>> ops;
@@ -134,6 +149,11 @@ struct Revision {
   std::atomic<std::uint32_t> link_refs{1};
   std::uint32_t count = 0;           // constructed entries in the inline array
   std::uint32_t cap = 0;             // inline array capacity (allocation size)
+  std::uint32_t batch_hi = 0;        // kBatch: end (excl.) of the op group
+                                     // this revision applied — lets helpers
+                                     // tell "group installed, watermark
+                                     // lagging" from "earlier group stacked
+                                     // here by a tombstone re-route"
   std::uint32_t hmask = 0;           // hash bucket count - 1
   std::vector<std::uint32_t> hslots; // 2 slots/bucket: (tag16 << 16) | index
   std::vector<std::uint64_t> hoverflow;  // per-bucket overflow bitmap
@@ -324,6 +344,10 @@ struct JiffyNode {
   std::atomic<std::uint64_t> birth{kPendingVersion};
   std::atomic<Revision<K, V>*> rev{nullptr};
   std::atomic<JiffyNode*> back{nullptr};
+  // Set (once, never cleared) by the purge pass on a dead tombstone it is
+  // about to unlink: writers that could otherwise re-publish a link to the
+  // node check it first (install_split, pred_at). See DESIGN.md §9.
+  std::atomic<bool> condemned{false};
   std::vector<std::atomic<JiffyNode*>> next;
 
   JiffyNode(int h, bool head, K a)
@@ -340,6 +364,11 @@ struct JiffyConfig {
                                      // adjustment; scaled to small runs)
     double interval_s = 0.05;        // min recompute interval
   } autoscaler;
+  struct Reclaim {
+    bool auto_purge = true;       // run purge() from the merge path when the
+                                  // linked-shell count crosses `threshold`
+    std::uint32_t threshold = 512;
+  } reclaim;
   bool hash_index = true;
 };
 
@@ -442,6 +471,10 @@ class JiffyMap {
   }
 
   ~JiffyMap() {
+    // Shells condemned and unlinked but not yet handed to EBR are no longer
+    // on the chain below; free them here.
+    for (Node* n : purge_pending_) delete_dead_node(n);
+    purge_pending_.clear();
     Node* x = head_;
     while (x) {
       Rev* r = x->rev.load(std::memory_order_relaxed);
@@ -580,45 +613,7 @@ class JiffyMap {
     // discarded revision, and without this the destructor could free the
     // cell out from under the rest of the batch.
     cell->refs.store(1, std::memory_order_relaxed);
-    const std::vector<BatchOp<K, V>>& sops = desc->ops;
-    std::vector<Rev*> replaced;
-    std::int64_t delta = 0;
-    std::size_t i = 0;
-    while (i < sops.size()) {
-      auto [x, r] = locate(sops[i].key);
-      // With tombstones in the list a later group can re-route to a node we
-      // already installed into (our pending revision still heads it). Build
-      // on top of our own revision — both share the cell, so they linearize
-      // together — instead of waiting on ourselves.
-      if (r->cell != cell) {
-        if (wait_writable(x, r) != r) continue;  // head moved: re-route
-        if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
-      }
-      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
-      // The group [i, j) is every op routed to x's range. Installs proceed
-      // in ascending key order, so two overlapping batches cannot wait on
-      // each other's pending revisions in a cycle.
-      std::size_t j = i + 1;
-      while (j < sops.size() && (!nxt || less_(sops[j].key, nxt->anchor))) ++j;
-      Rev* nr = build_batch_rev(r, sops, i, j, cell);
-      if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
-        Rev::unref(nr, /*immediate=*/true);
-        continue;  // lost the race: re-locate this group
-      }
-      delta += static_cast<std::int64_t>(nr->count) -
-               static_cast<std::int64_t>(r->count);
-      replaced.push_back(r);
-      i = j;
-      // Watermark for helpers: once this reads ops.size(), only the stamp
-      // is missing and anyone may supply it (try_help_stamp). seq_cst so
-      // the helping argument can lean on the total order like stamps do.
-      desc->installed.store(j, std::memory_order_seq_cst);
-    }
-    std::uint64_t expected = kPendingVersion;
-    cell->version.compare_exchange_strong(expected, clock_.read(),
-                                          std::memory_order_seq_cst);
-    size_.fetch_add(delta, std::memory_order_relaxed);
-    for (Rev* old : replaced) Rev::unref(old);
+    run_batch(desc, cell);
     release_cell(cell);
   }
 
@@ -630,7 +625,10 @@ class JiffyMap {
   std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
     scaler_.note(/*is_read=*/true, n ? n : 1);
     ebr::Guard g;
+    ebr::VersionTicket t;  // sentinel lands before the clock read, so the
+                           // purge watermark cannot pass the pinned version
     const std::uint64_t v = clock_.read();
+    t.publish(v);
     return scan_at(from, n, v, std::forward<F>(f));
   }
 
@@ -640,7 +638,9 @@ class JiffyMap {
   std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
     scaler_.note(/*is_read=*/true, n ? n : 1);
     ebr::Guard g;
+    ebr::VersionTicket t;
     const std::uint64_t v = clock_.read();
+    t.publish(v);
     return rscan_at(from, n, v, std::forward<F>(f));
   }
 
@@ -649,7 +649,10 @@ class JiffyMap {
   template <class F>
   std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
     ebr::Guard g;
-    const std::size_t n = range_at(lo, hi, clock_.read(), std::forward<F>(f));
+    ebr::VersionTicket t;
+    const std::uint64_t v = clock_.read();
+    t.publish(v);
+    const std::size_t n = range_at(lo, hi, v, std::forward<F>(f));
     scaler_.note(/*is_read=*/true, n ? n : 1);
     return n;
   }
@@ -663,6 +666,63 @@ class JiffyMap {
     return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
 
+  // ---- reclamation (DESIGN.md §9) -----------------------------------------
+
+  // Physically reclaim merge tombstones no reader can need: a shell is
+  // eligible once its kAbsorbed marker is stamped below the oldest active
+  // version ticket (snapshots, cursors, in-flight scans — see
+  // ebr::min_active_version). Cooperative and incremental; one pass runs at
+  // a time (concurrent calls return 0) and a pass advances a small state
+  // machine:
+  //   collect  condemn every eligible shell (flag set once, never cleared),
+  //   sweep    splice condemned nodes out of level 0 and out of every tower
+  //            slot of every node, and retarget back hints off them,
+  //   drain    wait for the EBR epoch to advance twice past the sweep — any
+  //            operation that read a pointer to a shell before it was
+  //            condemned ran under a guard that has now ended, so every
+  //            stale link such an operation may have re-published is in
+  //            place by now,
+  //   re-sweep until a sweep finds nothing to fix: a clean post-drain sweep
+  //            proves no location holds a condemned pointer and (by
+  //            induction: learning one requires loading it from somewhere)
+  //            no live operation can re-publish one,
+  //   retire   hand the shells to EBR.
+  // Long-lived snapshots never block the unlink: they only hold the version
+  // watermark, which keeps anything they can still read out of the pass
+  // entirely; a guard held across a sweep merely postpones the drain to a
+  // later call. Returns the number of shells retired by this call.
+  std::size_t purge() {
+    if (purging_.exchange(true, std::memory_order_acq_rel)) return 0;
+    std::size_t retired = 0;
+    for (int round = 0; round < 4; ++round) {
+      {
+        ebr::Guard g;
+        if (purge_pending_.empty()) {
+          const std::uint64_t wm = ebr::min_active_version();
+          if (wm == 0) break;  // a ticket is mid-registration: next time
+          purge_collect(wm);
+          if (purge_pending_.empty()) break;  // nothing eligible
+          purge_sweep();  // initial unlink; by construction not clean
+          purge_epoch_ = ebr::current_epoch();
+        } else if (ebr::current_epoch() >= purge_epoch_ + 2) {
+          if (purge_sweep() == 0) {
+            retired = purge_retire_pending();
+            break;
+          }
+          purge_epoch_ = ebr::current_epoch();  // re-arm the drain
+        }
+      }
+      // Drop our own pin and nudge the epoch: with no long-lived guards
+      // active the drain completes within this call.
+      ebr::quiesce();
+      if (!purge_pending_.empty() &&
+          ebr::current_epoch() < purge_epoch_ + 2)
+        break;  // some guard still spans the sweep; a later call continues
+    }
+    purging_.store(false, std::memory_order_release);
+    return retired;
+  }
+
   // ---- introspection ------------------------------------------------------
 
   struct DebugStats {
@@ -671,6 +731,9 @@ class JiffyMap {
     std::size_t entry_count = 0;
     std::uint32_t target_revision_size = 0;
     double read_fraction_ema = 0;
+    std::size_t tombstone_count = 0;  // stamped kAbsorbed shells still linked
+    std::size_t dead_shell_estimate = 0;  // merge victims not yet retired
+    std::uint64_t purged_total = 0;  // shells reclaimed over the lifetime
   };
 
   DebugStats debug_stats() const {
@@ -678,10 +741,16 @@ class JiffyMap {
     DebugStats s;
     s.target_revision_size = effective_max_size();
     s.read_fraction_ema = scaler_.read_fraction_ema();
+    const std::int64_t shells = dead_shells_.load(std::memory_order_relaxed);
+    s.dead_shell_estimate =
+        shells > 0 ? static_cast<std::size_t>(shells) : 0;
+    s.purged_total = purged_total_.load(std::memory_order_relaxed);
     for (Node* x = head_; x;) {
       Rev* r = x->rev.load(std::memory_order_seq_cst);
       if (r->sibling) ensure_link(x, r);
-      if (r->kind != RevKind::kAbsorbed && (!x->is_head || r->count != 0)) {
+      if (r->kind == RevKind::kAbsorbed) {
+        if (r->version_now() != kPendingVersion) ++s.tombstone_count;
+      } else if (!x->is_head || r->count != 0) {
         ++s.node_count;
         s.entry_count += r->count;
       }
@@ -713,12 +782,29 @@ class JiffyMap {
   // ---- location -----------------------------------------------------------
 
   // Complete a pending split link: swing x->next[0] from the pre-split
-  // successor to the first new sibling (exactly-once by CAS from the
-  // recorded expected value; the chain of new nodes was pre-linked).
+  // successor to the first new sibling (the chain of new nodes was
+  // pre-linked). Fast path: exactly-once CAS from the recorded expected
+  // value. That CAS can now fail forever without the link being done — the
+  // purge pass unlinks condemned tombstones from level 0, moving next[0]
+  // out from under the recorded expect — so fall back to forcing the link
+  // from whatever the current value is, gated on r still heading x: while
+  // it does, the only other writers of x->next[0] are helpers of this same
+  // link and tombstone unlinking (both compose with this loop), and once r
+  // is superseded the link is guaranteed complete, because every install
+  // path runs ensure_link to success (via locate) before building on r.
   void ensure_link(Node* x, Rev* r) const {
     Node* expect = r->link_expect;
-    x->next[0].compare_exchange_strong(expect, r->sibling,
-                                       std::memory_order_seq_cst);
+    if (x->next[0].compare_exchange_strong(expect, r->sibling,
+                                           std::memory_order_seq_cst))
+      return;
+    for (;;) {
+      Node* e = x->next[0].load(std::memory_order_seq_cst);
+      if (e == r->sibling) return;  // linked (by us or a helper)
+      if (x->rev.load(std::memory_order_seq_cst) != r) return;
+      if (x->next[0].compare_exchange_strong(e, r->sibling,
+                                             std::memory_order_seq_cst))
+        return;
+    }
   }
 
   // Level-0 node owning k under current routing, plus the revision used for
@@ -775,25 +861,119 @@ class JiffyMap {
   // waiting out a pending batch keeps batch atomicity (a successor built
   // from an unstamped batch revision would leak it early), and stamping a
   // pending plain head keeps per-node version chains monotonic. Blocked
-  // writers first try to help: a batch whose descriptor reports every
-  // install done, or a merge's final revision, only misses its stamp — any
-  // thread may supply it (the first half of ROADMAP "batch helping";
-  // replaying ops[installed..) of a half-installed batch is still future
-  // work). Returns the current head so the caller can detect that routing
-  // went stale and re-locate.
-  Rev* wait_writable(Node* x, Rev* r) const {
+  // writers help rather than wait: a completed batch or a merge's final
+  // revision gets its missing stamp, and a *half-installed* batch is
+  // replayed to completion from its published descriptor (help_revision →
+  // run_batch), so a stalled or killed batch writer never blocks progress.
+  // The only revision nobody can drive forward is a pending kAbsorbed
+  // marker — its merge may still abort — so only that case spins, and it is
+  // bounded by the merge writer's two-CAS window. Returns the current head
+  // so the caller can detect that routing went stale and re-locate.
+  Rev* wait_writable(Node* x, Rev* r) {
     for (;;) {
       if (r->version_now() != kPendingVersion)
         return x->rev.load(std::memory_order_seq_cst);
-      if (try_help_stamp(r)) continue;
-      // Pending half-installed batch (or a marker whose merge may still
-      // abort): wait for the stamp, but keep re-reading the head — an
+      if (help_revision(r)) continue;
+      // Pending kAbsorbed marker: wait, but keep re-reading the head — an
       // aborted merge replaces its marker without ever stamping it, and
       // spinning on the dead revision alone would hang.
       Rev* cur = x->rev.load(std::memory_order_seq_cst);
       if (cur != r) return cur;
       cpu_relax();
     }
+  }
+
+  // Drive the operation behind a pending revision to completion: stamp it
+  // if only the stamp is missing, or replay a half-installed batch from its
+  // descriptor. Returns false only for a pending kAbsorbed marker (its
+  // merge may still be rolled back — the one state with nothing to help).
+  bool help_revision(Rev* r) {
+    if (try_help_stamp(r)) return true;
+    if (r->kind == RevKind::kBatch && r->cell && r->cell->batch) {
+      run_batch(static_cast<BatchDescriptor<K, V>*>(r->cell->batch), r->cell);
+      return true;
+    }
+    return false;
+  }
+
+  // Install every remaining group of a published batch, then stamp. Shared
+  // by the batch writer (apply) and any helper that met one of its pending
+  // revisions; all run the same loop, so the batch completes as long as
+  // *anyone* is running. Race rules (DESIGN.md §6):
+  //   * installs CAS from the same stamped base revision, so two threads
+  //     can never both install a group — the loser re-locates, finds the
+  //     winner's revision (same cell, batch_hi > i) and just publishes the
+  //     watermark advance;
+  //   * the watermark moves only by CAS from group start to group end, and
+  //     every mover uses the boundary recorded in the installed revision
+  //     (or the one it just computed for its own successful install), so
+  //     racing advances are idempotent;
+  //   * each thread retires only the revisions *it* replaced, and only
+  //     after helping stamp the cell — the retire-strictly-after-stamp rule
+  //     readers rely on;
+  //   * size deltas are per-installer and disjoint (one install per group),
+  //     so the sum is exact no matter who installed what.
+  // Helping chains terminate: a batch only ever waits at its install
+  // frontier, and helping a blocker resumes at a strictly higher key
+  // (installs go in ascending key order), so blocked-on edges cannot cycle.
+  // A caller must hold an ebr::Guard: it keeps the pending revision — and
+  // through its cell reference the descriptor — alive while helping.
+  void run_batch(BatchDescriptor<K, V>* d, VersionCell* cell) {
+    const std::vector<BatchOp<K, V>>& sops = d->ops;
+    std::vector<Rev*> replaced;
+    std::int64_t delta = 0;
+    for (;;) {
+      const std::size_t i = d->installed.load(std::memory_order_seq_cst);
+      if (i >= sops.size()) break;
+      if (cell->version.load(std::memory_order_seq_cst) != kPendingVersion)
+        break;  // another thread already completed and stamped the batch
+      auto [x, r] = locate(sops[i].key);
+      if (r->cell == cell) {
+        if (r->batch_hi > i) {
+          // The group at the watermark is already installed — this very
+          // revision covers it; publish the advance and move on.
+          std::size_t e = i;
+          d->installed.compare_exchange_strong(e, r->batch_hi,
+                                               std::memory_order_seq_cst);
+          continue;
+        }
+        // An *earlier* group's revision: ops[i] re-routed here across a
+        // dead successor. Stack the new group on top — both share the cell,
+        // so they linearize together. Fall through with r as the base.
+      } else {
+        if (r->version_now() == kPendingVersion) {
+          if (!help_revision(r)) cpu_relax();  // pending marker: wait it out
+          continue;
+        }
+        if (r->kind == RevKind::kAbsorbed) continue;  // died: re-route
+      }
+      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
+      // The group [i, j) is every op routed to x's range. next[0] is stable
+      // while x is headed by a pending revision (splits need a stamped
+      // head, merges skip pending ones), so concurrent installers compute
+      // the same boundary for the group they race on.
+      std::size_t j = i + 1;
+      while (j < sops.size() && (!nxt || less_(sops[j].key, nxt->anchor))) ++j;
+      sched::point(sched::Point::kBatchInstall);
+      Rev* nr = build_batch_rev(r, sops, i, j, cell);
+      nr->batch_hi = static_cast<std::uint32_t>(j);
+      if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
+        Rev::unref(nr, /*immediate=*/true);
+        continue;  // lost the race (maybe to a helper): re-read watermark
+      }
+      delta += static_cast<std::int64_t>(nr->count) -
+               static_cast<std::int64_t>(r->count);
+      replaced.push_back(r);
+      sched::point(sched::Point::kBatchWatermark);
+      std::size_t e = i;
+      d->installed.compare_exchange_strong(e, j, std::memory_order_seq_cst);
+    }
+    if (delta != 0) size_.fetch_add(delta, std::memory_order_relaxed);
+    sched::point(sched::Point::kBatchStamp);
+    std::uint64_t expected = kPendingVersion;
+    cell->version.compare_exchange_strong(expected, clock_.read(),
+                                          std::memory_order_seq_cst);
+    for (Rev* old : replaced) Rev::unref(old);
   }
 
   // Help stamp r if its linearization only misses the stamp itself; false
@@ -836,6 +1016,7 @@ class JiffyMap {
   bool install_plain(Node* x, Rev* r, Rev* nr) {
     if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst))
       return false;
+    sched::point(sched::Point::kPlainStamp);
     nr->stamp(clock_.read());
     Rev::unref(r);  // retire strictly after the successor's stamp
     return true;
@@ -871,6 +1052,16 @@ class JiffyMap {
 
     auto* cell = new VersionCell;  // helpable: one CAS publishes everything
     Node* old_next = x->next[0].load(std::memory_order_seq_cst);
+    // Never record a condemned tombstone as the link target: the purge pass
+    // is about to unlink it, so help it out first and re-read. (A condemn
+    // landing after this check is caught by the pass's post-drain re-sweep;
+    // see DESIGN.md §9.)
+    while (old_next && old_next->condemned.load(std::memory_order_seq_cst)) {
+      Node* nn = old_next->next[0].load(std::memory_order_seq_cst);
+      x->next[0].compare_exchange_strong(old_next, nn,
+                                         std::memory_order_seq_cst);
+      old_next = x->next[0].load(std::memory_order_seq_cst);
+    }
 
     std::vector<std::pair<std::uint32_t, std::uint32_t>> parts;  // [lo, hi)
     // Append pattern (ascending bulk load): an even split would leave a
@@ -941,11 +1132,13 @@ class JiffyMap {
       Rev::unref(rlow, /*immediate=*/true);  // last cell unref frees it
       return false;
     }
+    sched::point(sched::Point::kSplitLink);
     ensure_link(x, rlow);
     // Tighten the old successor's back hint onto the rightmost new node
     // (new_nodes[0]); stale hints only cost a longer forward re-walk.
     if (old_next && !new_nodes.empty())
       old_next->back.store(new_nodes[0], std::memory_order_release);
+    sched::point(sched::Point::kSplitStamp);
     rlow->stamp(clock_.read());
     const std::uint64_t b_v = cell->version.load(std::memory_order_seq_cst);
     for (Node* m : new_nodes) {
@@ -964,9 +1157,9 @@ class JiffyMap {
   // if only the first CAS had landed) rather than waiting, which keeps the
   // ascending-order no-deadlock argument for batches intact. The dead node
   // stays in the list as a tombstone: routing skips it and old snapshots
-  // still reach its pre-merge chain through the marker's prev. Physical
-  // unlink (and tower cleanup) needs oldest-active-snapshot tracking and is
-  // left on the roadmap.
+  // still reach its pre-merge chain through the marker's prev — until the
+  // purge pass proves no reader below its death version survives and
+  // physically unlinks it (towers included).
   void maybe_merge(Node* x) {
     const std::uint32_t target = effective_max_size();
     Rev* rx = x->rev.load(std::memory_order_seq_cst);
@@ -1014,6 +1207,7 @@ class JiffyMap {
       release_cell(cell);
       return;
     }
+    sched::point(sched::Point::kMergeMarker);
     expect = rx;
     if (!x->rev.compare_exchange_strong(expect, merged,
                                         std::memory_order_seq_cst)) {
@@ -1037,14 +1231,111 @@ class JiffyMap {
       release_cell(cell);
       return;
     }
+    sched::point(sched::Point::kMergeStamp);
     merged->stamp(clock_.read());  // one stamp publishes both sides
     Rev::unref(rx);
     Rev::unref(rs);
     release_cell(cell);
+    dead_shells_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.reclaim.auto_purge &&
+        dead_shells_.load(std::memory_order_relaxed) >=
+            static_cast<std::int64_t>(cfg_.reclaim.threshold))
+      purge();
   }
 
   static void release_cell(VersionCell* c) {
     if (c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete c;
+  }
+
+  // ---- reclamation internals (purge(), DESIGN.md §9) ----------------------
+
+  // Condemn every dead tombstone whose death version lies below the oldest
+  // active version ticket: no current reader can need its chain, and every
+  // future reader pins a version at or above the watermark — globally
+  // monotonic TSC stamps put those above this shell's death version. The
+  // caller owns the purge flag and holds an EBR guard.
+  void purge_collect(std::uint64_t wm) {
+    for (Node* x = head_->next[0].load(std::memory_order_seq_cst); x;
+         x = x->next[0].load(std::memory_order_seq_cst)) {
+      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      if (r->kind != RevKind::kAbsorbed) continue;
+      const std::uint64_t dv = r->version_now();
+      if (dv == kPendingVersion || dv >= wm) continue;
+      if (!x->condemned.exchange(true, std::memory_order_seq_cst))
+        purge_pending_.push_back(x);
+    }
+  }
+
+  // One physical pass over the whole structure, returning the number of
+  // links it had to fix (0 = clean). Level 0 reaches every node — including
+  // towers orphaned from their own level by insert/unlink races — so
+  // scrubbing each visited node's full tower covers every slot that could
+  // hold a condemned pointer. Pending split links are completed first:
+  // ensure_link's force-help path re-publishes a chain that may run through
+  // a condemned node, and it must have fired before the sweep that is
+  // expected to leave none behind.
+  std::size_t purge_sweep() {
+    std::size_t fixes = 0;
+    Node* p = head_;
+    while (p) {
+      Rev* rp = p->rev.load(std::memory_order_seq_cst);
+      if (rp->sibling) ensure_link(p, rp);
+      // Splice condemned nodes (chains of them, one CAS each) out of every
+      // tower slot.
+      for (int l = 1; l < p->height; ++l) {
+        for (Node* t = p->next[l].load(std::memory_order_seq_cst);
+             t && t->condemned.load(std::memory_order_seq_cst);
+             t = p->next[l].load(std::memory_order_seq_cst)) {
+          Node* after = t->next[l].load(std::memory_order_seq_cst);
+          if (p->next[l].compare_exchange_strong(t, after,
+                                                 std::memory_order_seq_cst))
+            ++fixes;
+        }
+      }
+      Node* c = p->next[0].load(std::memory_order_seq_cst);
+      if (!c) break;
+      if (c->condemned.load(std::memory_order_seq_cst)) {
+        Node* after = c->next[0].load(std::memory_order_seq_cst);
+        if (p->next[0].compare_exchange_strong(c, after,
+                                               std::memory_order_seq_cst))
+          ++fixes;
+        continue;  // re-examine p's (possibly new) successor
+      }
+      // Back hints are only hints, but they must never dangle: retarget any
+      // that point into the condemned set at the current live predecessor
+      // (a strict list predecessor — all the hint contract promises).
+      Node* hint = c->back.load(std::memory_order_acquire);
+      if (hint && hint->condemned.load(std::memory_order_seq_cst)) {
+        c->back.store(p, std::memory_order_release);
+        ++fixes;
+      }
+      p = c;
+    }
+    return fixes;
+  }
+
+  // Post-drain, post-clean-sweep: the shells are permanently unreachable.
+  std::size_t purge_retire_pending() {
+    const std::size_t n = purge_pending_.size();
+    for (Node* x : purge_pending_) {
+      sched::point(sched::Point::kPurgeRetire);
+      ebr::retire_fn(x, &delete_dead_node);
+    }
+    purge_pending_.clear();
+    purged_total_.fetch_add(n, std::memory_order_relaxed);
+    dead_shells_.fetch_sub(static_cast<std::int64_t>(n),
+                           std::memory_order_relaxed);
+    return n;
+  }
+
+  // EBR deleter for a retired shell. Its head revision is the stamped
+  // kAbsorbed marker and holds the only remaining head reference; the
+  // marker's prev edge may dangle by now (prev edges are not counted, see
+  // Revision), and its destructor releases the shared cell reference.
+  static void delete_dead_node(void* p) {
+    auto* n = static_cast<Node*>(p);
+    Rev::unref(n->rev.load(std::memory_order_relaxed), /*immediate=*/true);
+    delete n;
   }
 
   Rev* build_batch_rev(Rev* r, const std::vector<BatchOp<K, V>>& ops,
@@ -1244,8 +1535,12 @@ class JiffyMap {
          cur = cur->next[0].load(std::memory_order_seq_cst)) {
       if (held_at(cur, v)) best = cur;
     }
-    if (best != hint)
-      x->back.store(best, std::memory_order_release);  // tighten the hint
+    // Tighten the hint — but never to a condemned node: the purge pass
+    // scrubs stale hints before retiring a shell, and a reader must not
+    // plant fresh ones behind its back (ticketed versions make `best`
+    // condemned only in the brief window before the condemn flag is seen).
+    if (best != hint && !best->condemned.load(std::memory_order_seq_cst))
+      x->back.store(best, std::memory_order_release);
     return best;
   }
 
@@ -1318,6 +1613,14 @@ class JiffyMap {
   mutable RevisionAutoscaler scaler_;
   std::atomic<std::int64_t> size_{0};
   Node* head_;
+
+  // Reclamation state (purge()). purge_pending_ and purge_epoch_ are owned
+  // by whichever thread holds purging_.
+  std::atomic<std::int64_t> dead_shells_{0};  // kAbsorbed shells not retired
+  std::atomic<std::uint64_t> purged_total_{0};
+  std::atomic<bool> purging_{false};
+  std::vector<Node*> purge_pending_;  // condemned + unlinked, awaiting drain
+  std::uint64_t purge_epoch_ = 0;
 };
 
 // A bidirectional, RocksDB-style cursor over one consistent version of a
@@ -1342,11 +1645,19 @@ class SnapCursor {
   using K = typename MapT::key_type;
   using V = typename MapT::mapped_type;
 
-  SnapCursor(const MapT* m, std::uint64_t version) : map_(m), v_(version) {}
+  // The version must still be covered when a cursor is constructed (by the
+  // snapshot's ticket, or the scan guard+ticket it was read under): the
+  // cursor then pins it with its own ticket, keeping the purge watermark at
+  // or below v_ for the cursor's whole lifetime.
+  SnapCursor(const MapT* m, std::uint64_t version) : map_(m), v_(version) {
+    ticket_.publish(v_);
+  }
 
   SnapCursor(const SnapCursor& o)
       : map_(o.map_), v_(o.v_), node_(o.node_), rev_(o.rev_), idx_(o.idx_),
-        valid_(o.valid_) {}
+        valid_(o.valid_) {
+    ticket_.publish(v_);
+  }
 
   SnapCursor& operator=(const SnapCursor& o) {
     map_ = o.map_;
@@ -1355,7 +1666,8 @@ class SnapCursor {
     rev_ = o.rev_;
     idx_ = o.idx_;
     valid_ = o.valid_;
-    return *this;  // guard_ keeps its own pin
+    ticket_.publish(v_);  // guard_ keeps its own pin; re-pin the version
+    return *this;
   }
 
   bool valid() const { return valid_; }
@@ -1485,6 +1797,7 @@ class SnapCursor {
   const MapT* map_;
   std::uint64_t v_;
   ebr::Guard guard_;
+  ebr::VersionTicket ticket_;
   Node* node_ = nullptr;
   Rev* rev_ = nullptr;
   std::uint32_t idx_ = 0;
@@ -1505,8 +1818,13 @@ class Snapshot {
   using V = typename MapT::mapped_type;
   using Cursor = SnapCursor<MapT>;
 
+  // Member order matters: ticket_ registers its "reserving" sentinel before
+  // version_'s initializer reads the clock, so the purge watermark can never
+  // slip past the version this snapshot is about to pin.
   explicit Snapshot(const MapT* m)
-      : map_(m), version_(m->clock_.read()) {}
+      : map_(m), version_(m->clock_.read()) {
+    ticket_.publish(version_);
+  }
 
   std::uint64_t version() const { return version_; }
 
@@ -1569,7 +1887,9 @@ class Snapshot {
    public:
     struct Sentinel {};
 
-    Range(const Range& o) : map_(o.map_), v_(o.v_), lo_(o.lo_), hi_(o.hi_) {}
+    Range(const Range& o) : map_(o.map_), v_(o.v_), lo_(o.lo_), hi_(o.hi_) {
+      ticket_.publish(v_);
+    }
 
     class Iterator {
      public:
@@ -1599,10 +1919,13 @@ class Snapshot {
    private:
     friend class Snapshot;
     Range(const MapT* m, std::uint64_t v, K lo, K hi)
-        : map_(m), v_(v), lo_(std::move(lo)), hi_(std::move(hi)) {}
+        : map_(m), v_(v), lo_(std::move(lo)), hi_(std::move(hi)) {
+      ticket_.publish(v_);
+    }
     const MapT* map_;
     std::uint64_t v_;
-    ebr::Guard guard_;
+    ebr::Guard guard_;  // the view outlives the Snapshot temporary in C++20
+    ebr::VersionTicket ticket_;  // range-for, so it pins epoch and version
     K lo_;
     K hi_;
   };
@@ -1614,6 +1937,7 @@ class Snapshot {
  private:
   const MapT* map_;
   ebr::Guard guard_;
+  ebr::VersionTicket ticket_;
   std::uint64_t version_;
 };
 

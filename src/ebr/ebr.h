@@ -14,6 +14,16 @@
 // an object was retired is guaranteed to observe every store the retiring
 // thread made before the retire (in particular version stamps), so it never
 // walks a revision chain into memory it is not protecting.
+//
+// Beyond guards, this header tracks *versions*: a VersionTicket registers
+// the TSC version a reader is pinned at (a snapshot, a cursor, one scan),
+// and min_active_version() folds the registry into the oldest-active
+// watermark the purge pass (DESIGN.md §9) compares death versions against.
+// A ticket publishes the sentinel 0 ("reserving") before its owner reads
+// the clock: a scanner that misses the ticket therefore ran before that
+// clock read in the seq_cst order, so every death version it collected was
+// stamped earlier still — globally monotonic TSC then guarantees the missed
+// reader's version lies above them all.
 #pragma once
 
 #include <atomic>
@@ -152,9 +162,10 @@ class Guard {
   detail::ThreadRec* rec_;
 };
 
-// Hand `p` to the collector; it is deleted once no guard can reach it.
-template <class T>
-void retire(T* p) {
+// Hand `p` to the collector with an explicit deleter; it runs once no guard
+// can reach the object. The deleter must be self-contained (it may run long
+// after the retiring scope is gone).
+inline void retire_fn(void* p, void (*deleter)(void*)) {
   using namespace detail;
   ThreadRec* rec = my_rec();
   Global& g = global();
@@ -164,13 +175,27 @@ void retire(T* p) {
   // least three epochs old and safe to free now.
   if (!bucket.empty() && rec->limbo_epoch[e % 3] != e) free_bucket(bucket);
   rec->limbo_epoch[e % 3] = e;
-  bucket.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+  bucket.push_back({p, deleter});
 
   if (++rec->retires_since_scan >= 64) {
     rec->retires_since_scan = 0;
     const std::uint64_t now = try_advance();
     collect(rec, now);
   }
+}
+
+// Hand `p` to the collector; it is deleted once no guard can reach it.
+template <class T>
+void retire(T* p) {
+  retire_fn(p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+// Current global epoch. A guard active now is pinned at (at most) this
+// value, so once the epoch has advanced by 2 past a reading, every guard
+// that was active at that reading has ended — the drain condition the purge
+// pass uses between unlinking and retiring shells.
+inline std::uint64_t current_epoch() {
+  return detail::global().epoch.load(std::memory_order_seq_cst);
 }
 
 // Best-effort drain for quiescent moments (tests, shutdown): repeatedly
@@ -180,6 +205,100 @@ inline void quiesce() {
   using namespace detail;
   ThreadRec* rec = my_rec();
   for (int i = 0; i < 4; ++i) collect(rec, try_advance());
+}
+
+// ---- oldest-active-version tracking ---------------------------------------
+
+namespace detail {
+
+inline constexpr std::uint64_t kIdleVersion = ~0ull;
+
+// Same lock-free registration/recycling pattern as ThreadRec, but per
+// *ticket*, not per thread: one thread may hold several (a snapshot plus
+// the cursors it handed out).
+struct VersionSlot {
+  std::atomic<std::uint64_t> v{kIdleVersion};
+  std::atomic<bool> in_use{false};
+  VersionSlot* next = nullptr;  // immutable after registration
+};
+
+struct VersionRegistry {
+  std::atomic<VersionSlot*> head{nullptr};
+};
+
+inline VersionRegistry& version_registry() {
+  static VersionRegistry r;
+  return r;
+}
+
+inline VersionSlot* acquire_version_slot() {
+  VersionRegistry& reg = version_registry();
+  for (VersionSlot* s = reg.head.load(std::memory_order_acquire); s;
+       s = s->next) {
+    bool expected = false;
+    if (!s->in_use.load(std::memory_order_relaxed) &&
+        s->in_use.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel))
+      return s;
+  }
+  auto* s = new VersionSlot;
+  s->in_use.store(true, std::memory_order_relaxed);
+  VersionSlot* head = reg.head.load(std::memory_order_acquire);
+  do {
+    s->next = head;
+  } while (!reg.head.compare_exchange_weak(head, s, std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+  return s;
+}
+
+}  // namespace detail
+
+// Registers a reader's pinned version for the lifetime of the ticket.
+// Usage rule (the whole safety argument hangs on it): construct the ticket
+// BEFORE reading the clock for the version it will publish — construction
+// publishes the sentinel 0, which blocks the purge watermark until the real
+// version lands. publish() may be called again (cursors that get re-pointed
+// republish).
+class VersionTicket {
+ public:
+  VersionTicket() : slot_(detail::acquire_version_slot()) {
+    slot_->v.store(0, std::memory_order_seq_cst);  // reserving
+  }
+
+  ~VersionTicket() {
+    slot_->v.store(detail::kIdleVersion, std::memory_order_seq_cst);
+    slot_->in_use.store(false, std::memory_order_release);
+  }
+
+  VersionTicket(const VersionTicket&) = delete;
+  VersionTicket& operator=(const VersionTicket&) = delete;
+
+  void publish(std::uint64_t v) {
+    slot_->v.store(v, std::memory_order_seq_cst);
+  }
+
+ private:
+  detail::VersionSlot* slot_;
+};
+
+// Oldest version any active ticket is pinned at. Returns ~0 when none are
+// (everything stamped is then older than every reader), and 0 while some
+// ticket is still mid-registration (the caller should treat that as "no
+// reclamation this round"). A recycled slot can transiently show its old
+// idle value between the in_use CAS and the new owner's sentinel store;
+// ignoring it then is the "missed ticket" case the header comment argues
+// safe: the owner's clock read happens after its sentinel store, so its
+// version lands above every death version a concurrent scan collected.
+inline std::uint64_t min_active_version() {
+  std::uint64_t m = detail::kIdleVersion;
+  for (detail::VersionSlot* s =
+           detail::version_registry().head.load(std::memory_order_acquire);
+       s; s = s->next) {
+    if (!s->in_use.load(std::memory_order_seq_cst)) continue;
+    const std::uint64_t v = s->v.load(std::memory_order_seq_cst);
+    if (v < m) m = v;
+  }
+  return m;
 }
 
 }  // namespace jiffy::ebr

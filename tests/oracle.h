@@ -1,0 +1,278 @@
+// Expected-state oracle for stress-testing JiffyMap (modeled on RocksDB's
+// db_stress ExpectedState, adapted to multiversioned reads).
+//
+// A sharded, lock-striped shadow map records, per key, a bounded history of
+// committed states bracketed by TSC reads: a mutator locks the key's stripe,
+// reads the clock (t0), applies the op to the map under test, reads the
+// clock again (t1), and appends {t0, t1, state-after}. Because the map
+// stamps every revision with a TSC value read between the op's start and
+// its return, the op's linearization version provably lies in [t0, t1] —
+// so a read at version V can be validated without any global stop-the-world:
+//   - the last record with t1 <= V is committed at V (its state must hold),
+//   - the at-most-one record whose window contains V (t0 <= V < t1) is
+//     ambiguous: either its state or the committed one is acceptable,
+//   - if the bounded history was truncated below V, the expected state is
+//     unknown and the check is counted as skipped, never failed.
+// Per key the windows never overlap (the stripe lock serializes mutators and
+// t0 of the next op is read after t1 of the previous), which is what makes
+// "last record with t1 <= V" well defined even after truncation (only the
+// oldest records are dropped).
+//
+// Batches lock every involved stripe (in index order — no deadlocks) and
+// append one record per key with the shared [t0, t1] window, so a validated
+// reader also checks batch atomicity: seeing some keys' post-state committed
+// and others' pre-state at one version is a failure.
+//
+// Fault-injection caveat: mutators hold stripe locks across map calls, so a
+// FaultPlan used together with this oracle must only yield/stall (chaos
+// mode) — a kBlock trigger on a mutator thread would park it holding a
+// stripe lock and wedge the test, not the map.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "tsc/clock.h"
+
+namespace jiffy::testing {
+
+enum class Verdict { kOk, kSkipped, kFailed };
+
+class Oracle {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+
+  // One committed mutation: applied to the map at some version in [t0, t1];
+  // `present`/`value` describe the key's state after it.
+  struct OpRec {
+    std::uint64_t t0 = 0;
+    std::uint64_t t1 = 0;
+    bool present = false;
+    Value value = 0;
+  };
+
+  // `key_space`: keys are expected in [0, key_space). `stripes_log2`:
+  // 2^n contiguous-range stripes. `history_cap`: per-key record bound.
+  explicit Oracle(Key key_space, unsigned stripes_log2 = 6,
+                  std::size_t history_cap = 32)
+      : nstripes_(std::size_t{1} << stripes_log2),
+        history_cap_(history_cap),
+        stripes_(nstripes_) {
+    shift_ = 0;
+    while ((key_space - 1) >> shift_ >= nstripes_) ++shift_;
+  }
+
+  // ---- mutator side -------------------------------------------------------
+
+  // Apply one single-key mutation: `op()` must perform exactly the change
+  // described by (present_after, value_after) on the map under test.
+  template <class F>
+  void mutate(Key k, bool present_after, Value value_after, F&& op) {
+    Stripe& s = stripe(k);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const std::uint64_t t0 = clock_.read();
+    op();
+    const std::uint64_t t1 = clock_.read();
+    append(s, k, {t0, t1, present_after, value_after});
+  }
+
+  // One atomic multi-key mutation (a Jiffy batch). `effects` lists the
+  // state after the batch per key (nullopt = erased); `op()` applies it.
+  template <class F>
+  void mutate_batch(
+      const std::vector<std::pair<Key, std::optional<Value>>>& effects,
+      F&& op) {
+    std::vector<std::size_t> idx;
+    idx.reserve(effects.size());
+    for (const auto& e : effects) idx.push_back(stripe_index(e.first));
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    for (std::size_t i : idx) stripes_[i].mu.lock();
+    const std::uint64_t t0 = clock_.read();
+    op();
+    const std::uint64_t t1 = clock_.read();
+    for (const auto& [k, v] : effects)
+      append(stripe(k), k, {t0, t1, v.has_value(), v.value_or(0)});
+    for (auto it = idx.rbegin(); it != idx.rend(); ++it)
+      stripes_[*it].mu.unlock();
+  }
+
+  // ---- reader side --------------------------------------------------------
+
+  // Validate a versioned read: `got` is what the map returned for k at
+  // version v (from a snapshot, versioned scan, or cursor).
+  Verdict check_at(Key k, std::uint64_t v,
+                   const std::optional<Value>& got) const {
+    Stripe& s = stripe(k);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return check_locked(s, k, v, v, got);
+  }
+
+  // Validate an unversioned read: r0/r1 are clock reads the caller took
+  // immediately before/after the map lookup — the read linearized between
+  // them, so any state live in that window is acceptable.
+  Verdict check_window(Key k, std::uint64_t r0, std::uint64_t r1,
+                       const std::optional<Value>& got) const {
+    Stripe& s = stripe(k);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return check_locked(s, k, r0, r1, got);
+  }
+
+  // Validate a consistent scan of [lo, hi) at version v: `out` is the
+  // map-reported content, ascending. Checks both directions — every
+  // reported entry must be a valid state at v, and every tracked key whose
+  // absence is impossible at v must be reported. Returns the worst verdict;
+  // increments the tally counters per key checked.
+  Verdict check_range(Key lo, Key hi, std::uint64_t v,
+                      const std::vector<std::pair<Key, Value>>& out,
+                      std::uint64_t* ok, std::uint64_t* skipped) const {
+    Verdict worst = Verdict::kOk;
+    std::size_t oi = 0;
+    const std::size_t s_lo = stripe_index(lo);
+    const std::size_t s_hi = hi == 0 ? 0 : stripe_index(hi - 1);
+    for (std::size_t si = s_lo; si <= s_hi && si < nstripes_; ++si) {
+      Stripe& s = stripes_[si];
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (auto it = s.keys.lower_bound(lo);
+           it != s.keys.end() && it->first < hi; ++it) {
+        const Key k = it->first;
+        std::optional<Value> got;
+        while (oi < out.size() && out[oi].first < k) {
+          // The map reported a key the oracle never touched: fabricated.
+          report_fail(out[oi].first, v, "untracked key in range result");
+          worst = Verdict::kFailed;
+          ++oi;
+        }
+        if (oi < out.size() && out[oi].first == k) got = out[oi++].second;
+        const Verdict vd = check_locked(s, k, v, v, got);
+        if (vd == Verdict::kFailed)
+          worst = Verdict::kFailed;
+        else if (vd == Verdict::kSkipped && worst == Verdict::kOk)
+          worst = Verdict::kSkipped;
+        if (vd == Verdict::kOk && ok) ++*ok;
+        if (vd == Verdict::kSkipped && skipped) ++*skipped;
+      }
+    }
+    for (; oi < out.size(); ++oi) {
+      if (out[oi].first >= hi) {
+        report_fail(out[oi].first, v, "key outside requested range");
+        worst = Verdict::kFailed;
+      }
+    }
+    return worst;
+  }
+
+  // Quiescent full check: no concurrent mutators, every key unambiguous.
+  template <class MapT>
+  std::uint64_t check_all_quiescent(const MapT& m, std::uint64_t v) const {
+    std::uint64_t failed = 0;
+    for (std::size_t si = 0; si < nstripes_; ++si) {
+      Stripe& s = stripes_[si];
+      std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& [k, hist] : s.keys) {
+        if (check_locked(s, k, v, v, m.get(k)) == Verdict::kFailed) ++failed;
+      }
+    }
+    return failed;
+  }
+
+  std::uint64_t truncation_skips() const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < nstripes_; ++i) {
+      std::lock_guard<std::mutex> lk(stripes_[i].mu);
+      for (const auto& [k, h] : stripes_[i].keys) n += h.truncated ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  struct Hist {
+    std::vector<OpRec> recs;
+    bool truncated = false;
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<Key, Hist> keys;
+  };
+
+  std::size_t stripe_index(Key k) const {
+    const std::size_t i = static_cast<std::size_t>(k >> shift_);
+    return i < nstripes_ ? i : nstripes_ - 1;
+  }
+  Stripe& stripe(Key k) const { return stripes_[stripe_index(k)]; }
+
+  void append(Stripe& s, Key k, OpRec rec) {
+    Hist& h = s.keys[k];
+    if (h.recs.size() >= history_cap_) {
+      h.recs.erase(h.recs.begin(),
+                   h.recs.begin() +
+                       static_cast<std::ptrdiff_t>(h.recs.size() / 2));
+      h.truncated = true;
+    }
+    h.recs.push_back(rec);
+  }
+
+  // Core validation; the read linearized at some version in [v0, v1]
+  // (v0 == v1 for versioned reads). Caller holds the stripe lock.
+  Verdict check_locked(Stripe& s, Key k, std::uint64_t v0, std::uint64_t v1,
+                       const std::optional<Value>& got) const {
+    auto it = s.keys.find(k);
+    const Hist* h = it == s.keys.end() ? nullptr : &it->second;
+    // Acceptable states: the one committed entering the window, plus the
+    // after-state of every record overlapping it.
+    bool base_known = true;
+    std::optional<Value> base;  // nullopt = absent
+    const OpRec* last_committed = nullptr;
+    if (h) {
+      for (const OpRec& r : h->recs) {
+        if (r.t1 <= v0) last_committed = &r;
+      }
+      if (last_committed) {
+        if (last_committed->present) base = last_committed->value;
+      } else if (h->truncated) {
+        base_known = false;  // v0 predates the retained history
+      }
+    }
+    if (base_known && matches(got, base)) return Verdict::kOk;
+    if (h) {
+      for (const OpRec& r : h->recs) {
+        if (r.t0 <= v1 && r.t1 > v0) {  // window overlaps [v0, v1]
+          std::optional<Value> st;
+          if (r.present) st = r.value;
+          if (matches(got, st)) return Verdict::kOk;
+        }
+      }
+    }
+    if (!base_known) return Verdict::kSkipped;
+    report_fail(k, v0, got ? "wrong/extra value" : "missing value");
+    return Verdict::kFailed;
+  }
+
+  static bool matches(const std::optional<Value>& got,
+                      const std::optional<Value>& want) {
+    return got.has_value() == want.has_value() &&
+           (!got.has_value() || *got == *want);
+  }
+
+  static void report_fail(Key k, std::uint64_t v, const char* what) {
+    std::fprintf(stderr, "oracle: key %llu at version %llu: %s\n",
+                 static_cast<unsigned long long>(k),
+                 static_cast<unsigned long long>(v), what);
+  }
+
+  TscClock clock_;  // same global TSC domain as the map's stamps
+  std::size_t nstripes_;
+  unsigned shift_ = 0;
+  std::size_t history_cap_;
+  mutable std::vector<Stripe> stripes_;
+};
+
+}  // namespace jiffy::testing

@@ -222,13 +222,16 @@ void test_cslm() {
 }
 
 void test_locked_map_stub() {
-  SnapTreeAdapter<std::uint64_t, std::uint64_t> m;
+  KaryAdapter<std::uint64_t, std::uint64_t> m;
   shake_map_interface(m);
-  CHECK(baselines::adapter_info("snaptree") != nullptr);
-  CHECK(baselines::adapter_info("snaptree")->kind ==
+  CHECK(baselines::adapter_info("k-ary") != nullptr);
+  CHECK(baselines::adapter_info("k-ary")->kind ==
         baselines::AdapterKind::kStub);
   CHECK(baselines::adapter_info("jiffy")->kind ==
         baselines::AdapterKind::kNative);
+  CHECK(baselines::adapter_info("lf-list")->kind ==
+        baselines::AdapterKind::kNative);
+  CHECK(baselines::adapter_info("snaptree") == nullptr);  // replaced
   CHECK(baselines::adapter_info("nope") == nullptr);
 }
 

@@ -416,8 +416,10 @@ int main() {
   test_backward_snapshot_stability();
   check_adapter_surface<JiffyAdapter<std::uint64_t, std::uint64_t>>("jiffy");
   check_adapter_surface<CslmAdapter<std::uint64_t, std::uint64_t>>("cslm");
-  check_adapter_surface<SnapTreeAdapter<std::uint64_t, std::uint64_t>>(
-      "snaptree(stub)");
+  check_adapter_surface<LfListAdapter<std::uint64_t, std::uint64_t>>(
+      "lf-list");
+  check_adapter_surface<KaryAdapter<std::uint64_t, std::uint64_t>>(
+      "k-ary(stub)");
   std::puts("test_cursor_range OK");
   return 0;
 }

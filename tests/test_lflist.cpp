@@ -1,0 +1,177 @@
+// Fomitchev-Ruppert lock-free list baseline: sequential differential test
+// against std::map, concurrent disjoint-writer determinism, and a mixed
+// churn run validated by the expected-state oracle (the list is the second
+// truly concurrent reference the differential suites lean on).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "baselines/lf_list.h"
+#include "oracle.h"
+#include "test_util.h"
+#include "tsc/clock.h"
+#include "workload/rng.h"
+
+namespace {
+
+using List = jiffy::baselines::LfList<std::uint64_t, std::uint64_t>;
+
+void sequential_differential() {
+  List list;
+  std::map<std::uint64_t, std::uint64_t> model;
+  jiffy::Rng rng(42);
+  constexpr std::uint64_t kSpace = 512;
+
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.next() % kSpace;
+    switch (rng.next() % 4) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        const bool inserted = list.put(k, v);
+        CHECK_EQ(inserted, model.find(k) == model.end());
+        model[k] = v;
+        break;
+      }
+      case 1: {
+        CHECK_EQ(list.erase(k), model.erase(k) > 0);
+        break;
+      }
+      case 2: {
+        const auto got = list.get(k);
+        const auto it = model.find(k);
+        CHECK_EQ(got.has_value(), it != model.end());
+        if (got) CHECK_EQ(*got, it->second);
+        break;
+      }
+      default: {
+        const std::uint64_t hi = k + rng.next() % 64;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+        list.range_scan(k, hi, [&](const std::uint64_t& rk,
+                                   const std::uint64_t& rv) {
+          got.emplace_back(rk, rv);
+        });
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+        for (auto it = model.lower_bound(k);
+             it != model.end() && it->first < hi; ++it)
+          want.emplace_back(it->first, it->second);
+        CHECK(got == want);
+      }
+    }
+  }
+  CHECK_EQ(list.approx_size(), model.size());
+
+  // Forward and reverse bounded scans agree with the model end to end.
+  std::vector<std::uint64_t> fwd, rev;
+  list.scan_n(0, model.size() + 8,
+              [&](const std::uint64_t& k, const std::uint64_t&) {
+                fwd.push_back(k);
+              });
+  list.rscan_n(~0ull, model.size() + 8,
+               [&](const std::uint64_t& k, const std::uint64_t&) {
+                 rev.push_back(k);
+               });
+  CHECK_EQ(fwd.size(), model.size());
+  CHECK_EQ(rev.size(), model.size());
+  auto mit = model.begin();
+  for (std::size_t i = 0; i < fwd.size(); ++i, ++mit) {
+    CHECK_EQ(fwd[i], mit->first);
+    CHECK_EQ(rev[rev.size() - 1 - i], mit->first);
+  }
+  std::printf("sequential differential ok (%zu final entries)\n",
+              model.size());
+}
+
+// Disjoint key ranges: every thread's writes must land exactly, and the
+// helped deletion protocol must never lose a neighbour's key.
+void concurrent_disjoint() {
+  List list;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPer = 2000;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&list, t] {
+      const std::uint64_t base = t * kPer;
+      for (std::uint64_t k = 0; k < kPer; ++k) list.put(base + k, t);
+      for (std::uint64_t k = 0; k < kPer; k += 2) list.erase(base + k);
+      for (std::uint64_t k = 0; k < kPer; k += 4) list.put(base + k, t + 10);
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (unsigned t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = t * kPer;
+    for (std::uint64_t k = 0; k < kPer; ++k) {
+      const auto got = list.get(base + k);
+      if (k % 4 == 0) {
+        CHECK_EQ(got.value(), t + 10ull);
+      } else if (k % 2 == 0) {
+        CHECK(!got.has_value());
+      } else {
+        CHECK_EQ(got.value(), static_cast<std::uint64_t>(t));
+      }
+    }
+  }
+  CHECK_EQ(list.approx_size(), kThreads * (kPer / 2 + kPer / 4));
+  std::printf("concurrent disjoint ok\n");
+}
+
+// Shared-key churn validated online by the expected-state oracle: point
+// gets checked against the TSC-bracketed per-key history, then a quiescent
+// full sweep.
+void concurrent_oracle() {
+  List list;
+  jiffy::testing::Oracle oracle(1024);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failed{0};
+
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < 3; ++t) {
+    ts.emplace_back([&, t] {
+      jiffy::Rng rng(777 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next() % 1024;
+        if (rng.next() % 3 != 0) {
+          const std::uint64_t v = rng.next();
+          oracle.mutate(k, true, v, [&] { list.put(k, v); });
+        } else {
+          oracle.mutate(k, false, 0, [&] { list.erase(k); });
+        }
+      }
+    });
+  }
+  for (unsigned t = 0; t < 2; ++t) {
+    ts.emplace_back([&, t] {
+      jiffy::Rng rng(999 + t);
+      jiffy::TscClock clock;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next() % 1024;
+        const std::uint64_t r0 = clock.read();
+        const auto got = list.get(k);
+        const std::uint64_t r1 = clock.read();
+        if (oracle.check_window(k, r0, r1, got) ==
+            jiffy::testing::Verdict::kFailed)
+          failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : ts) t.join();
+  CHECK_EQ(failed.load(), 0u);
+  CHECK_EQ(oracle.check_all_quiescent(list, jiffy::TscClock{}.read()), 0u);
+  std::printf("concurrent oracle ok\n");
+}
+
+}  // namespace
+
+int main() {
+  sequential_differential();
+  concurrent_disjoint();
+  concurrent_oracle();
+  std::printf("test_lflist OK\n");
+  return 0;
+}
