@@ -149,11 +149,13 @@ struct Revision {
   std::atomic<std::uint32_t> link_refs{1};
   std::uint32_t count = 0;           // constructed entries in the inline array
   std::uint32_t cap = 0;             // inline array capacity (allocation size)
-  std::uint32_t batch_hi = 0;        // kBatch: end (excl.) of the op group
+  std::size_t batch_hi = 0;          // kBatch: end (excl.) of the op group
                                      // this revision applied — lets helpers
                                      // tell "group installed, watermark
                                      // lagging" from "earlier group stacked
-                                     // here by a tombstone re-route"
+                                     // here by a tombstone re-route"; same
+                                     // width as BatchDescriptor::installed
+                                     // so huge batches cannot wrap it
   std::uint32_t hmask = 0;           // hash bucket count - 1
   std::vector<std::uint32_t> hslots; // 2 slots/bucket: (tag16 << 16) | index
   std::vector<std::uint64_t> hoverflow;  // per-bucket overflow bitmap
@@ -471,8 +473,14 @@ class JiffyMap {
   }
 
   ~JiffyMap() {
-    // Shells condemned and unlinked but not yet handed to EBR are no longer
-    // on the chain below; free them here.
+    // A condemned shell may still be reachable: purge()'s bounded loop can
+    // exit with a re-published link (or a lost sweep CAS) left for "a later
+    // call" that never came. Destruction is single-threaded, so sweeps make
+    // monotonic progress — run them until clean, after which every pending
+    // shell really is off the chain and safe to free before the walk below.
+    if (!purge_pending_.empty())
+      while (purge_sweep() != 0) {
+      }
     for (Node* n : purge_pending_) delete_dead_node(n);
     purge_pending_.clear();
     Node* x = head_;
@@ -674,7 +682,11 @@ class JiffyMap {
   // ebr::min_active_version). Cooperative and incremental; one pass runs at
   // a time (concurrent calls return 0) and a pass advances a small state
   // machine:
-  //   collect  condemn every eligible shell (flag set once, never cleared),
+  //   collect  read every stamped tombstone's death version, THEN the
+  //            watermark (that order makes a racing, unseen ticket's pinned
+  //            version provably exceed every collected stamp — see
+  //            purge_collect), and condemn the shells below it (flag set
+  //            once, never cleared),
   //   sweep    splice condemned nodes out of level 0 and out of every tower
   //            slot of every node, and retarget back hints off them,
   //   drain    wait for the EBR epoch to advance twice past the sweep — any
@@ -698,9 +710,7 @@ class JiffyMap {
       {
         ebr::Guard g;
         if (purge_pending_.empty()) {
-          const std::uint64_t wm = ebr::min_active_version();
-          if (wm == 0) break;  // a ticket is mid-registration: next time
-          purge_collect(wm);
+          purge_collect();
           if (purge_pending_.empty()) break;  // nothing eligible
           purge_sweep();  // initial unlink; by construction not clean
           purge_epoch_ = ebr::current_epoch();
@@ -956,7 +966,7 @@ class JiffyMap {
       while (j < sops.size() && (!nxt || less_(sops[j].key, nxt->anchor))) ++j;
       sched::point(sched::Point::kBatchInstall);
       Rev* nr = build_batch_rev(r, sops, i, j, cell);
-      nr->batch_hi = static_cast<std::uint32_t>(j);
+      nr->batch_hi = j;
       if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
         Rev::unref(nr, /*immediate=*/true);
         continue;  // lost the race (maybe to a helper): re-read watermark
@@ -1252,15 +1262,36 @@ class JiffyMap {
   // Condemn every dead tombstone whose death version lies below the oldest
   // active version ticket: no current reader can need its chain, and every
   // future reader pins a version at or above the watermark — globally
-  // monotonic TSC stamps put those above this shell's death version. The
-  // caller owns the purge flag and holds an EBR guard.
-  void purge_collect(std::uint64_t wm) {
+  // monotonic TSC stamps put those above this shell's death version.
+  //
+  // The phase order is load-bearing: every candidate's death version is
+  // read BEFORE the registry scan that computes the watermark. A ticket the
+  // scan misses (its registration raced the scan) published its sentinel —
+  // and then read the clock for the version it pins — after the scan
+  // visited its slot, hence after every death version gathered here was
+  // already stamped; monotonic TSC then puts that reader's version above
+  // them all, so `dv < wm` keeps everything it can still need. Reading the
+  // watermark first would break this: with no visible tickets the scan
+  // returns kIdleVersion (~0), and a tombstone stamped *after* the scan —
+  // but below the version a concurrently-registering snapshot pinned —
+  // would be condemned out from under that live snapshot.
+  // The caller owns the purge flag and holds an EBR guard.
+  void purge_collect() {
+    std::vector<std::pair<Node*, std::uint64_t>> cand;  // (shell, death v)
     for (Node* x = head_->next[0].load(std::memory_order_seq_cst); x;
          x = x->next[0].load(std::memory_order_seq_cst)) {
       Rev* r = x->rev.load(std::memory_order_seq_cst);
       if (r->kind != RevKind::kAbsorbed) continue;
       const std::uint64_t dv = r->version_now();
-      if (dv == kPendingVersion || dv >= wm) continue;
+      if (dv == kPendingVersion) continue;
+      if (x->condemned.load(std::memory_order_seq_cst)) continue;
+      cand.emplace_back(x, dv);
+    }
+    if (cand.empty()) return;
+    const std::uint64_t wm = ebr::min_active_version();
+    if (wm == 0) return;  // a ticket is mid-registration: next time
+    for (const auto& [x, dv] : cand) {
+      if (dv >= wm) continue;
       if (!x->condemned.exchange(true, std::memory_order_seq_cst))
         purge_pending_.push_back(x);
     }
