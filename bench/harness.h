@@ -165,10 +165,15 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
   std::atomic<std::uint64_t> total_ops{0};
   std::atomic<std::uint64_t> update_ops{0};
 
+  // start is a release/acquire edge (pairs: harness-start-stop) so workers
+  // cannot observe it before t0 is taken; stop and the ops counters are
+  // relaxed because the joins below order everything the workers wrote.
   auto updater = [&](int tid) {
     Rng rng(0xBEEF + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
-    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
+      cpu_relax();
+    // relaxed: advisory stop flag; thread join orders the counter writes.
     while (!stop.load(std::memory_order_relaxed)) {
       if (cfg.batch.size == 0) {
         const std::uint64_t i = chooser.next_index(rng);
@@ -195,50 +200,58 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
         ops += cfg.batch.size;
       }
     }
-    total_ops.fetch_add(ops, std::memory_order_relaxed);
-    update_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);   // relaxed: read after join
+    update_ops.fetch_add(ops, std::memory_order_relaxed);  // relaxed: read after join
   };
 
   auto lookup = [&](int tid) {
     Rng rng(0xFACE + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
-    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
+      cpu_relax();
+    // relaxed: advisory stop flag; thread join orders the counter writes.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t i = chooser.next_index(rng);
       idx.get(KeyCodec<K>::encode(i, cfg.key_space));
       ++ops;
     }
-    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);  // relaxed: read after join
   };
 
   auto scanner = [&](int tid) {
     Rng rng(0x5CA9 + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
-    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
+      cpu_relax();
+    // relaxed: advisory stop flag; thread join orders the counter writes.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t i = chooser.next_index(rng);
       ops += idx.scan_n(KeyCodec<K>::encode(i, cfg.key_space), roles.scan_len,
                         [](const K&, const V&) {});
     }
-    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);  // relaxed: read after join
   };
 
   auto rev_scanner = [&](int tid) {
     Rng rng(0xD15C + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
-    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
+      cpu_relax();
+    // relaxed: advisory stop flag; thread join orders the counter writes.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t i = chooser.next_index(rng);
       ops += idx.rscan_n(KeyCodec<K>::encode(i, cfg.key_space),
                          roles.scan_len, [](const K&, const V&) {});
     }
-    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);  // relaxed: read after join
   };
 
   auto ranger = [&](int tid) {
     Rng rng(0x7A11 + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
-    while (!start.load(std::memory_order_acquire)) cpu_relax();
+    while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
+      cpu_relax();
+    // relaxed: advisory stop flag; thread join orders the counter writes.
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t lo_i = chooser.next_index(rng);
       const std::uint64_t hi_i =
@@ -247,7 +260,7 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
                             KeyCodec<K>::encode(hi_i, cfg.key_space),
                             [](const K&, const V&) {});
     }
-    total_ops.fetch_add(ops, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);  // relaxed: read after join
   };
 
   std::vector<std::thread> ts;
@@ -260,17 +273,22 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
   for (int i = 0; i < roles.rangers; ++i) ts.emplace_back(ranger, tid++);
 
   const auto t0 = std::chrono::steady_clock::now();
-  start.store(true, std::memory_order_release);
+  start.store(true, std::memory_order_release);  // pairs: harness-start-stop
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
-  stop.store(true, std::memory_order_release);
+  // relaxed: advisory stop flag; thread join orders the counter writes.
+  stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   RowResult r;
-  r.total_mops = static_cast<double>(total_ops.load()) / dt / 1e6;
-  r.update_mops = static_cast<double>(update_ops.load()) / dt / 1e6;
+  // relaxed: every worker has been joined; the loads are data-race-free.
+  const auto total = total_ops.load(std::memory_order_relaxed);
+  // relaxed: every worker has been joined; the loads are data-race-free.
+  const auto updates = update_ops.load(std::memory_order_relaxed);
+  r.total_mops = static_cast<double>(total) / dt / 1e6;
+  r.update_mops = static_cast<double>(updates) / dt / 1e6;
   return r;
 }
 
@@ -396,7 +414,8 @@ void run_figure(const char* figure, const char* kv_shape,
                                 Scenario::kMixedRange};
   auto scenario_enabled = [&](Scenario s) {
     if (cli.only_scenario.empty()) return true;
-    return std::string(1, scenario_name(s)[0]) == cli.only_scenario;
+    return cli.only_scenario.size() == 1 &&
+           cli.only_scenario[0] == scenario_name(s)[0];
   };
   auto index_enabled = [&](const char* n) {
     return cli.only_index.empty() || cli.only_index == n;

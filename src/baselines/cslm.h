@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/analysis.h"
 #include "ebr/ebr.h"
 #include "workload/keyvalue.h"
 #include "workload/rng.h"
@@ -31,12 +32,15 @@ class CslmMap {
     head_ = new Node(K{}, nullptr, kMaxLevel - 1, Sentinel::kHead);
     tail_ = new Node(K{}, nullptr, kMaxLevel - 1, Sentinel::kTail);
     for (int l = 0; l < kMaxLevel; ++l)
+      // relaxed: constructor runs before the map is shared.
       head_->next[l].store(pack(tail_, false), std::memory_order_relaxed);
   }
 
   ~CslmMap() {
+    // relaxed: single-threaded teardown; no concurrent access remains.
     Node* x = unmark(head_->next[0].load(std::memory_order_relaxed));
     while (x != tail_) {
+      // relaxed: single-threaded teardown; no concurrent access remains.
       Node* nxt = unmark(x->next[0].load(std::memory_order_relaxed));
       delete x;
       x = nxt;
@@ -51,15 +55,18 @@ class CslmMap {
 
   bool put(const K& k, const V& v) {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     for (;;) {
-      if (find(k, preds, succs)) {
+      if (find(k, preds, succs, g)) {
         Node* node = succs[0];
         V* vp = new V(v);
-        V* old = node->val.exchange(vp, std::memory_order_acq_rel);
+        V* old =
+            node->val.exchange(vp, std::memory_order_acq_rel);  // pairs: val-publish
         ebr::retire(old);
-        if (marked(node->next[0].load(std::memory_order_seq_cst))) {
+        if (marked(
+                node->next[0].load(std::memory_order_seq_cst))) {  // pairs: cslm-next
           // The node was logically removed; our value may never be seen.
           // Retry as an insert so the put linearizes after the remove.
           continue;
@@ -69,27 +76,33 @@ class CslmMap {
       const int top = random_level();
       auto* node = new Node(k, new V(v), top, Sentinel::kNone);
       for (int l = 0; l <= top; ++l)
+        // relaxed: node is thread-private until the level-0 CAS publishes it.
         node->next[l].store(pack(succs[l], false), std::memory_order_relaxed);
       std::uintptr_t expect = pack(succs[0], false);
       if (!preds[0]->next[0].compare_exchange_strong(
-              expect, pack(node, false), std::memory_order_seq_cst)) {
+              expect, pack(node, false),
+              std::memory_order_seq_cst)) {  // pairs: cslm-next
         delete node;  // never published
         continue;
       }
+      // relaxed: approximate size counter (see approx_size).
       size_.fetch_add(1, std::memory_order_relaxed);
       for (int l = 1; l <= top; ++l) {
         for (;;) {
           std::uintptr_t e = pack(succs[l], false);
           if (preds[l]->next[l].compare_exchange_strong(
-                  e, pack(node, false), std::memory_order_seq_cst))
+                  e, pack(node, false),
+                  std::memory_order_seq_cst))  // pairs: cslm-next
             break;
-          find(k, preds, succs);  // refresh preds/succs
+          find(k, preds, succs, g);  // refresh preds/succs
           if (succs[0] != node) return true;  // already removed: stop linking
-          std::uintptr_t cur = node->next[l].load(std::memory_order_seq_cst);
+          std::uintptr_t cur =
+              node->next[l].load(std::memory_order_seq_cst);  // pairs: cslm-next
           if (marked(cur)) return true;  // being removed: remover owns links
           if (unmark(cur) != succs[l])
             node->next[l].compare_exchange_strong(
-                cur, pack(succs[l], false), std::memory_order_seq_cst);
+                cur, pack(succs[l], false),
+                std::memory_order_seq_cst);  // pairs: cslm-next
         }
       }
       return true;
@@ -98,26 +111,30 @@ class CslmMap {
 
   bool erase(const K& k) {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    if (!find(k, preds, succs)) return false;
+    if (!find(k, preds, succs, g)) return false;
     Node* node = succs[0];
     for (int l = node->top; l >= 1; --l) {
-      std::uintptr_t cur = node->next[l].load(std::memory_order_seq_cst);
+      std::uintptr_t cur =
+          node->next[l].load(std::memory_order_seq_cst);  // pairs: cslm-next
       while (!marked(cur)) {
-        node->next[l].compare_exchange_weak(cur, cur | 1u,
-                                            std::memory_order_seq_cst);
+        node->next[l].compare_exchange_weak(
+            cur, cur | 1u, std::memory_order_seq_cst);  // pairs: cslm-next
       }
     }
-    std::uintptr_t cur = node->next[0].load(std::memory_order_seq_cst);
+    std::uintptr_t cur =
+        node->next[0].load(std::memory_order_seq_cst);  // pairs: cslm-next
     for (;;) {
       if (marked(cur)) return false;  // lost to a concurrent remover
-      if (node->next[0].compare_exchange_strong(cur, cur | 1u,
-                                                std::memory_order_seq_cst)) {
+      if (node->next[0].compare_exchange_strong(
+              cur, cur | 1u, std::memory_order_seq_cst)) {  // pairs: cslm-next
+        // relaxed: approximate size counter (see approx_size).
         size_.fetch_sub(1, std::memory_order_relaxed);
         // A completed find() pass snips the node at every level it still
         // occupied; only then is it safe to hand to the collector.
-        find(k, preds, succs);
+        find(k, preds, succs, g);
         ebr::retire(node);
         return true;
       }
@@ -126,23 +143,26 @@ class CslmMap {
 
   std::optional<V> get(const K& k) const {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    if (!find(k, preds, succs)) return std::nullopt;
-    V* p = succs[0]->val.load(std::memory_order_acquire);
+    if (!find(k, preds, succs, g)) return std::nullopt;
+    V* p = succs[0]->val.load(std::memory_order_acquire);  // pairs: val-publish
     return *p;
   }
 
   bool contains(const K& k) const {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    return find(k, preds, succs);
+    return find(k, preds, succs, g);
   }
 
   // Atomic insert/remove counter (puts that overwrite do not change it);
   // transiently off by in-flight ops, hence "approx".
   std::size_t approx_size() const {
+    // relaxed: the count is approximate by contract.
     const std::int64_t n = size_.load(std::memory_order_relaxed);
     return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
@@ -151,14 +171,17 @@ class CslmMap {
   template <class F>
   std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    find(from, preds, succs);
+    find(from, preds, succs, g);
     std::size_t emitted = 0;
     for (Node* cur = succs[0]; cur != tail_ && emitted < n;) {
-      const std::uintptr_t nx = cur->next[0].load(std::memory_order_seq_cst);
+      const std::uintptr_t nx =
+          cur->next[0].load(std::memory_order_seq_cst);  // pairs: cslm-next
       if (!marked(nx)) {
-        f(cur->key, *cur->val.load(std::memory_order_acquire));
+        f(cur->key,
+          *cur->val.load(std::memory_order_acquire));  // pairs: val-publish
         ++emitted;
       }
       cur = unmark(nx);
@@ -173,17 +196,20 @@ class CslmMap {
   template <class F>
   std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     std::size_t emitted = 0;
     K cur = from;
     bool inclusive = true;
     while (emitted < n) {
-      const bool eq = find(cur, preds, succs);
+      const bool eq = find(cur, preds, succs, g);
       Node* cand = (inclusive && eq) ? succs[0] : preds[0];
       if (cand->sentinel != Sentinel::kNone) break;
-      if (!marked(cand->next[0].load(std::memory_order_seq_cst))) {
-        f(cand->key, *cand->val.load(std::memory_order_acquire));
+      if (!marked(cand->next[0].load(
+              std::memory_order_seq_cst))) {  // pairs: cslm-next
+        f(cand->key,
+          *cand->val.load(std::memory_order_acquire));  // pairs: val-publish
         ++emitted;
       }
       cur = cand->key;
@@ -197,15 +223,18 @@ class CslmMap {
   template <class F>
   std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
     ebr::Guard g;
+    g.assert_held();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
-    find(lo, preds, succs);
+    find(lo, preds, succs, g);
     std::size_t emitted = 0;
     for (Node* cur = succs[0];
          cur->sentinel != Sentinel::kTail && less_(cur->key, hi);) {
-      const std::uintptr_t nx = cur->next[0].load(std::memory_order_seq_cst);
+      const std::uintptr_t nx =
+          cur->next[0].load(std::memory_order_seq_cst);  // pairs: cslm-next
       if (!marked(nx)) {
-        f(cur->key, *cur->val.load(std::memory_order_acquire));
+        f(cur->key,
+          *cur->val.load(std::memory_order_acquire));  // pairs: val-publish
         ++emitted;
       }
       cur = unmark(nx);
@@ -239,6 +268,8 @@ class CslmMap {
     Node(K k, V* v, int t, Sentinel s)
         : key(std::move(k)), val(v), top(t), sentinel(s), next(t + 1) {}
 
+    // relaxed: the node is unreachable once the EBR grace period hands it to
+    // the destructor; no concurrent access remains.
     ~Node() { delete val.load(std::memory_order_relaxed); }
   };
 
@@ -265,20 +296,25 @@ class CslmMap {
   // HS find: locate preds/succs at every level, physically unlinking any
   // marked node met on the path; restarts whenever a snip CAS fails, so on
   // return the search path is clean at every level.
-  bool find(const K& k, Node** preds, Node** succs) const {
+  bool find(const K& k, Node** preds, Node** succs,
+            [[maybe_unused]] const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
   retry:
     Node* pred = head_;
     for (int l = kMaxLevel - 1; l >= 0; --l) {
-      Node* curr = unmark(pred->next[l].load(std::memory_order_seq_cst));
+      Node* curr = unmark(
+          pred->next[l].load(std::memory_order_seq_cst));  // pairs: cslm-next
       for (;;) {
-        std::uintptr_t nx = curr->next[l].load(std::memory_order_seq_cst);
+        std::uintptr_t nx =
+            curr->next[l].load(std::memory_order_seq_cst);  // pairs: cslm-next
         while (marked(nx)) {  // curr is deleted: snip it
           std::uintptr_t e = pack(curr, false);
           if (!pred->next[l].compare_exchange_strong(
-                  e, pack(unmark(nx), false), std::memory_order_seq_cst))
+                  e, pack(unmark(nx), false),
+                  std::memory_order_seq_cst))  // pairs: cslm-next
             goto retry;
           curr = unmark(nx);
-          nx = curr->next[l].load(std::memory_order_seq_cst);
+          nx = curr->next[l].load(std::memory_order_seq_cst);  // pairs: cslm-next
         }
         if (node_less(curr, k)) {
           pred = curr;

@@ -61,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/analysis.h"
 #include "core/schedule_points.h"
 #include "ebr/ebr.h"
 #include "tsc/clock.h"
@@ -197,23 +198,27 @@ struct Revision {
   ~Revision() {
     Entry* e = entry_data();
     for (std::uint32_t i = 0; i < count; ++i) e[i].~Entry();
-    if (cell && cell->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    if (cell &&
+        cell->refs.fetch_sub(1, std::memory_order_acq_rel) ==  // pairs: cell-refs
+            1)
       delete cell;
   }
 
   std::uint64_t version_now() const {
-    return cell ? cell->version.load(std::memory_order_seq_cst)
-                : version.load(std::memory_order_seq_cst);
+    return cell
+               ? cell->version.load(std::memory_order_seq_cst)  // pairs: version-stamp
+               : version.load(std::memory_order_seq_cst);  // pairs: version-stamp
   }
 
   // Stamp a pending version with `t`; loses to any concurrent stamp.
   void stamp(std::uint64_t t) {
     std::uint64_t expected = kPendingVersion;
     if (cell)
-      cell->version.compare_exchange_strong(expected, t,
-                                            std::memory_order_seq_cst);
+      cell->version.compare_exchange_strong(
+          expected, t, std::memory_order_seq_cst);  // pairs: version-stamp
     else
-      version.compare_exchange_strong(expected, t, std::memory_order_seq_cst);
+      version.compare_exchange_strong(
+          expected, t, std::memory_order_seq_cst);  // pairs: version-stamp
   }
 
   // (Reader-side stamping policy lives in JiffyMap::try_help_stamp: plain
@@ -254,7 +259,8 @@ struct Revision {
   }
 
   static void unref(Revision* r, bool immediate = false) {
-    if (r->link_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (r->link_refs.fetch_sub(1, std::memory_order_acq_rel) ==  // pairs: rev-refs
+        1) {
       if (immediate)
         delete r;
       else
@@ -275,6 +281,7 @@ class RevisionBuilder {
                   bool hash_index = true)
       : rev_(Rev::allocate(capacity)), hash_index_(hash_index) {
     rev_->kind = kind;
+    // relaxed: the revision is thread-private until the install CAS.
     rev_->version.store(version, std::memory_order_relaxed);
   }
 
@@ -381,18 +388,23 @@ class RevisionAutoscaler {
  public:
   explicit RevisionAutoscaler(const JiffyConfig::Autoscaler& cfg)
       : cfg_(cfg) {
+    // relaxed: constructor runs before the scaler is shared.
     target_.store(cfg_.enabled ? (cfg_.min_size + cfg_.max_size) / 2
                                : cfg_.fixed_size,
                   std::memory_order_relaxed);
+    // relaxed: constructor runs before the scaler is shared.
     ema_.store(0.5, std::memory_order_relaxed);
+    // relaxed: constructor runs before the scaler is shared.
     last_ns_.store(now_ns(), std::memory_order_relaxed);
   }
 
   std::uint32_t target() const {
+    // relaxed: advisory sizing hint; any recent value is acceptable.
     return target_.load(std::memory_order_relaxed);
   }
 
   double read_fraction_ema() const {
+    // relaxed: statistics readout; no ordering with other state needed.
     return ema_.load(std::memory_order_relaxed);
   }
 
@@ -401,6 +413,7 @@ class RevisionAutoscaler {
     thread_local std::uint32_t tick = 0;
     if ((tick++ & 15u) != 0 && weight == 1) return;
     const std::uint64_t w = weight == 1 ? 16 : weight;
+    // relaxed: sampled op counter; only totals matter, not ordering.
     (is_read ? reads_ : writes_).fetch_add(w, std::memory_order_relaxed);
     maybe_update();
   }
@@ -415,23 +428,34 @@ class RevisionAutoscaler {
 
   void maybe_update() {
     const std::uint64_t now = now_ns();
+    // relaxed: throttle timestamp; the CAS below arbitrates the window and
+    // a stale read only skips one update.
     std::uint64_t last = last_ns_.load(std::memory_order_relaxed);
     const auto interval_ns =
         static_cast<std::uint64_t>(cfg_.interval_s * 1e9);
     if (now - last < interval_ns) return;
+    // relaxed: mutual exclusion here is advisory — a lost update window
+    // only delays the EMA, it cannot corrupt it.
     if (!last_ns_.compare_exchange_strong(last, now,
                                           std::memory_order_relaxed))
       return;  // someone else owns this update window
+    // relaxed: approximate sample harvest; ops landing around the exchange
+    // are counted in whichever window sees them.
     const std::uint64_t r = reads_.exchange(0, std::memory_order_relaxed);
+    // relaxed: same approximate harvest as reads_ above.
     const std::uint64_t w = writes_.exchange(0, std::memory_order_relaxed);
     if (r + w == 0) return;
     const double rf = static_cast<double>(r) / static_cast<double>(r + w);
     const double dt = static_cast<double>(now - last) * 1e-9;
     const double alpha = 1.0 - std::exp(-dt / cfg_.tau_s);
+    // relaxed: only the CAS winner writes ema_ in this window; readers
+    // tolerate any recent value.
     double ema = ema_.load(std::memory_order_relaxed);
     ema += alpha * (rf - ema);
+    // relaxed: see the load above — advisory statistic.
     ema_.store(ema, std::memory_order_relaxed);
     const double t = cfg_.min_size + ema * (cfg_.max_size - cfg_.min_size);
+    // relaxed: advisory sizing hint consumed by target().
     target_.store(static_cast<std::uint32_t>(t + 0.5),
                   std::memory_order_relaxed);
   }
@@ -468,8 +492,8 @@ class JiffyMap {
     head_ = new Node(Node::kMaxHeight, /*head=*/true, K{});
     RevisionBuilder<K, V, Hash> b(RevKind::kPlain, 0, /*version=*/0,
                                   cfg_.hash_index);
-    head_->rev.store(b.finish(), std::memory_order_release);
-    head_->birth.store(0, std::memory_order_release);
+    head_->rev.store(b.finish(), std::memory_order_release);  // pairs: rev-install
+    head_->birth.store(0, std::memory_order_release);  // pairs: birth-stamp
   }
 
   ~JiffyMap() {
@@ -478,14 +502,19 @@ class JiffyMap {
     // call" that never came. Destruction is single-threaded, so sweeps make
     // monotonic progress — run them until clean, after which every pending
     // shell really is off the chain and safe to free before the walk below.
-    if (!purge_pending_.empty())
-      while (purge_sweep() != 0) {
+    if (!purge_pending_.empty()) {
+      ebr::Guard g;
+      g.assert_held();
+      while (purge_sweep(g) != 0) {
       }
+    }
     for (Node* n : purge_pending_) delete_dead_node(n);
     purge_pending_.clear();
     Node* x = head_;
     while (x) {
+      // relaxed: single-threaded teardown; no concurrent access remains.
       Rev* r = x->rev.load(std::memory_order_relaxed);
+      // relaxed: single-threaded teardown; no concurrent access remains.
       Node* nxt = x->next[0].load(std::memory_order_relaxed);
       Rev::unref(r, /*immediate=*/true);
       delete x;
@@ -503,16 +532,18 @@ class JiffyMap {
   bool put(const K& k, const V& v) {
     scaler_.note(/*is_read=*/false);
     ebr::Guard g;
+    g.assert_held();
     for (;;) {
-      auto [x, r] = locate(k);
-      if (wait_writable(x, r) != r) continue;  // head moved: re-route
+      auto [x, r] = locate(k, g);
+      if (wait_writable(x, r, g) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
       const Entry* hit = r->find_binary(k, less_);
       const std::uint32_t n = r->count;
       const std::uint32_t newn = hit ? n : n + 1;
       const std::uint32_t maxsz = effective_max_size();
       if (newn > maxsz && newn >= 4) {
-        if (install_split(x, r, &k, &v)) {
+        if (install_split(x, r, &k, &v, g)) {
+          // relaxed: approximate size counter (see approx_size).
           if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
           return !hit;
         }
@@ -536,9 +567,10 @@ class JiffyMap {
       if (!placed) b.emit(k, v);  // k after all entries
       Rev* nr = b.finish();
       nr->prev = r;
-      if (install_plain(x, r, nr)) {
+      if (install_plain(x, r, nr, g)) {
+        // relaxed: approximate size counter (see approx_size).
         if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
-        maybe_merge(x);
+        maybe_merge(x, g);
         return !hit;
       }
       Rev::unref(nr, /*immediate=*/true);
@@ -549,9 +581,10 @@ class JiffyMap {
   bool erase(const K& k) {
     scaler_.note(/*is_read=*/false);
     ebr::Guard g;
+    g.assert_held();
     for (;;) {
-      auto [x, r] = locate(k);
-      if (wait_writable(x, r) != r) continue;  // head moved: re-route
+      auto [x, r] = locate(k, g);
+      if (wait_writable(x, r, g) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
       if (!r->find_binary(k, less_)) return false;
       RevisionBuilder<K, V, Hash> b(RevKind::kPlain, r->count - 1,
@@ -560,9 +593,10 @@ class JiffyMap {
         if (less_(e.first, k) || less_(k, e.first)) b.emit(e.first, e.second);
       Rev* nr = b.finish();
       nr->prev = r;
-      if (install_plain(x, r, nr)) {
+      if (install_plain(x, r, nr, g)) {
+        // relaxed: approximate size counter (see approx_size).
         size_.fetch_sub(1, std::memory_order_relaxed);
-        maybe_merge(x);
+        maybe_merge(x, g);
         return true;
       }
       Rev::unref(nr, /*immediate=*/true);
@@ -572,7 +606,21 @@ class JiffyMap {
   std::optional<V> get(const K& k) const {
     scaler_.note(/*is_read=*/true);
     ebr::Guard g;
-    const Entry* e = find_live(k);
+    g.assert_held();
+    const Entry* e = find_live(k, g);
+    if (!e) return std::nullopt;
+    return e->second;
+  }
+
+  // Expert variant of get() for callers that already hold an EBR guard and
+  // want to amortize the pin over a run of lookups. The annotation is load-
+  // bearing: a -Wthread-safety build rejects any call site that cannot
+  // prove `g` is held (tools/tests/fixture_unguarded.cpp is the negative
+  // test).
+  std::optional<V> get_pinned(const K& k, const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
+    scaler_.note(/*is_read=*/true);
+    const Entry* e = find_live(k, g);
     if (!e) return std::nullopt;
     return e->second;
   }
@@ -581,7 +629,8 @@ class JiffyMap {
   bool contains(const K& k) const {
     scaler_.note(/*is_read=*/true);
     ebr::Guard g;
-    return find_live(k) != nullptr;
+    g.assert_held();
+    return find_live(k, g) != nullptr;
   }
 
   // ---- batch updates (§3.4) -----------------------------------------------
@@ -611,6 +660,7 @@ class JiffyMap {
     ops.resize(w);
 
     ebr::Guard g;
+    g.assert_held();
     auto* desc = new BatchDescriptor<K, V>;
     desc->ops = std::move(ops);
     auto* cell = new VersionCell;
@@ -620,8 +670,9 @@ class JiffyMap {
     // The writer holds its own reference: a failed install CAS destroys the
     // discarded revision, and without this the destructor could free the
     // cell out from under the rest of the batch.
+    // relaxed: the cell is thread-private until the first install CAS.
     cell->refs.store(1, std::memory_order_relaxed);
-    run_batch(desc, cell);
+    run_batch(desc, cell, g);
     release_cell(cell);
   }
 
@@ -633,11 +684,13 @@ class JiffyMap {
   std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
     scaler_.note(/*is_read=*/true, n ? n : 1);
     ebr::Guard g;
+    g.assert_held();
     ebr::VersionTicket t;  // sentinel lands before the clock read, so the
                            // purge watermark cannot pass the pinned version
     const std::uint64_t v = clock_.read();
     t.publish(v);
-    return scan_at(from, n, v, std::forward<F>(f));
+    t.assert_pinned();
+    return scan_at(from, n, v, std::forward<F>(f), g, t);
   }
 
   // Visit up to `n` entries with key <= from, in descending order, at one
@@ -646,10 +699,12 @@ class JiffyMap {
   std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
     scaler_.note(/*is_read=*/true, n ? n : 1);
     ebr::Guard g;
+    g.assert_held();
     ebr::VersionTicket t;
     const std::uint64_t v = clock_.read();
     t.publish(v);
-    return rscan_at(from, n, v, std::forward<F>(f));
+    t.assert_pinned();
+    return rscan_at(from, n, v, std::forward<F>(f), g, t);
   }
 
   // Visit every entry in the half-open range [lo, hi), in order, at one
@@ -657,10 +712,12 @@ class JiffyMap {
   template <class F>
   std::size_t range_scan(const K& lo, const K& hi, F&& f) const {
     ebr::Guard g;
+    g.assert_held();
     ebr::VersionTicket t;
     const std::uint64_t v = clock_.read();
     t.publish(v);
-    const std::size_t n = range_at(lo, hi, v, std::forward<F>(f));
+    t.assert_pinned();
+    const std::size_t n = range_at(lo, hi, v, std::forward<F>(f), g, t);
     scaler_.note(/*is_read=*/true, n ? n : 1);
     return n;
   }
@@ -670,6 +727,8 @@ class JiffyMap {
   // O(1) approximate entry count, maintained by the update paths; transient
   // in-flight operations can make it momentarily off by their op count.
   std::size_t approx_size() const {
+    // relaxed: the count is approximate by contract; in-flight ops make it
+    // momentarily off either way, so ordering buys nothing.
     const std::int64_t n = size_.load(std::memory_order_relaxed);
     return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
@@ -704,19 +763,21 @@ class JiffyMap {
   // entirely; a guard held across a sweep merely postpones the drain to a
   // later call. Returns the number of shells retired by this call.
   std::size_t purge() {
-    if (purging_.exchange(true, std::memory_order_acq_rel)) return 0;
+    if (purging_.exchange(true, std::memory_order_acq_rel))  // pairs: purge-flag
+      return 0;
     std::size_t retired = 0;
     for (int round = 0; round < 4; ++round) {
       {
         ebr::Guard g;
+        g.assert_held();
         if (purge_pending_.empty()) {
-          purge_collect();
+          purge_collect(g);
           if (purge_pending_.empty()) break;  // nothing eligible
-          purge_sweep();  // initial unlink; by construction not clean
+          purge_sweep(g);  // initial unlink; by construction not clean
           purge_epoch_ = ebr::current_epoch();
         } else if (ebr::current_epoch() >= purge_epoch_ + 2) {
-          if (purge_sweep() == 0) {
-            retired = purge_retire_pending();
+          if (purge_sweep(g) == 0) {
+            retired = purge_retire_pending(g);
             break;
           }
           purge_epoch_ = ebr::current_epoch();  // re-arm the drain
@@ -729,7 +790,7 @@ class JiffyMap {
           ebr::current_epoch() < purge_epoch_ + 2)
         break;  // some guard still spans the sweep; a later call continues
     }
-    purging_.store(false, std::memory_order_release);
+    purging_.store(false, std::memory_order_release);  // pairs: purge-flag
     return retired;
   }
 
@@ -748,23 +809,26 @@ class JiffyMap {
 
   DebugStats debug_stats() const {
     ebr::Guard g;
+    g.assert_held();
     DebugStats s;
     s.target_revision_size = effective_max_size();
     s.read_fraction_ema = scaler_.read_fraction_ema();
+    // relaxed: diagnostic estimate; concurrent merges/purges skew it anyway.
     const std::int64_t shells = dead_shells_.load(std::memory_order_relaxed);
     s.dead_shell_estimate =
         shells > 0 ? static_cast<std::size_t>(shells) : 0;
+    // relaxed: lifetime statistic; no ordering with other state needed.
     s.purged_total = purged_total_.load(std::memory_order_relaxed);
     for (Node* x = head_; x;) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);
-      if (r->sibling) ensure_link(x, r);
+      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (r->sibling) ensure_link(x, r, g);
       if (r->kind == RevKind::kAbsorbed) {
         if (r->version_now() != kPendingVersion) ++s.tombstone_count;
       } else if (!x->is_head || r->count != 0) {
         ++s.node_count;
         s.entry_count += r->count;
       }
-      x = x->next[0].load(std::memory_order_seq_cst);
+      x = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     }
     if (s.node_count)
       s.avg_revision_size = static_cast<double>(s.entry_count) /
@@ -774,12 +838,13 @@ class JiffyMap {
 
   std::size_t size_slow() const {
     ebr::Guard g;
+    g.assert_held();
     std::size_t n = 0;
     for (Node* x = head_; x;) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);
-      if (r->sibling) ensure_link(x, r);
+      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (r->sibling) ensure_link(x, r, g);
       n += r->count;
-      x = x->next[0].load(std::memory_order_seq_cst);
+      x = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     }
     return n;
   }
@@ -802,17 +867,19 @@ class JiffyMap {
   // link and tombstone unlinking (both compose with this loop), and once r
   // is superseded the link is guaranteed complete, because every install
   // path runs ensure_link to success (via locate) before building on r.
-  void ensure_link(Node* x, Rev* r) const {
+  void ensure_link(Node* x, Rev* r, [[maybe_unused]] const ebr::Guard& g)
+      const JIFFY_REQUIRES_GUARD(g) {
     Node* expect = r->link_expect;
-    if (x->next[0].compare_exchange_strong(expect, r->sibling,
-                                           std::memory_order_seq_cst))
+    if (x->next[0].compare_exchange_strong(
+            expect, r->sibling, std::memory_order_seq_cst))  // pairs: next-link
       return;
     for (;;) {
-      Node* e = x->next[0].load(std::memory_order_seq_cst);
+      Node* e = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
       if (e == r->sibling) return;  // linked (by us or a helper)
-      if (x->rev.load(std::memory_order_seq_cst) != r) return;
-      if (x->next[0].compare_exchange_strong(e, r->sibling,
-                                             std::memory_order_seq_cst))
+      if (x->rev.load(std::memory_order_seq_cst) != r)  // pairs: rev-install
+        return;
+      if (x->next[0].compare_exchange_strong(
+              e, r->sibling, std::memory_order_seq_cst))  // pairs: next-link
         return;
     }
   }
@@ -821,13 +888,15 @@ class JiffyMap {
   // the routing decision (callers CAS against it, so stale reads retry).
   // Absorbed tombstones are skipped: their content lives in the nearest live
   // node to the left, which is exactly the node this walk remembers.
-  std::pair<Node*, Rev*> locate(const K& k) const {
+  std::pair<Node*, Rev*> locate(const K& k, const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
     for (;;) {
       Node* x = head_;
       for (int l = Node::kMaxHeight - 1; l >= 1; --l) {
-        for (Node* nxt = x->next[l].load(std::memory_order_acquire);
+        for (Node* nxt =
+                 x->next[l].load(std::memory_order_acquire);  // pairs: next-link
              nxt && !less_(k, nxt->anchor);
-             nxt = x->next[l].load(std::memory_order_acquire))
+             nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
           x = nxt;
       }
       // A node counts as dead only once its marker is STAMPED (merge
@@ -840,27 +909,29 @@ class JiffyMap {
       };
       // The tower may land on a tombstone; hop left to its absorber (each
       // hop goes strictly left, so this terminates).
-      Rev* r = x->rev.load(std::memory_order_seq_cst);
+      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       while (dead(r)) {
         x = r->home;
-        r = x->rev.load(std::memory_order_seq_cst);
+        r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       }
-      if (r->sibling) ensure_link(x, r);
+      if (r->sibling) ensure_link(x, r, g);
       Node* live = x;
-      for (Node* cur = live->next[0].load(std::memory_order_seq_cst);
+      for (Node* cur =
+               live->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
            cur && !less_(k, cur->anchor);
-           cur = cur->next[0].load(std::memory_order_seq_cst)) {
-        Rev* rc = cur->rev.load(std::memory_order_seq_cst);
-        if (rc->sibling) ensure_link(cur, rc);
+           cur = cur->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
+        Rev* rc = cur->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+        if (rc->sibling) ensure_link(cur, rc, g);
         if (!dead(rc)) live = cur;
       }
       // Re-read the chosen head: if the node died or split since we passed
       // it, the routing decision may be stale — retry from the top.
-      Rev* now = live->rev.load(std::memory_order_seq_cst);
+      Rev* now = live->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (dead(now)) continue;
       if (now->sibling) {
-        ensure_link(live, now);
-        Node* nxt = live->next[0].load(std::memory_order_seq_cst);
+        ensure_link(live, now, g);
+        Node* nxt =
+            live->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
         if (nxt && !less_(k, nxt->anchor)) continue;  // sibling owns k
       }
       return {live, now};
@@ -879,15 +950,16 @@ class JiffyMap {
   // marker — its merge may still abort — so only that case spins, and it is
   // bounded by the merge writer's two-CAS window. Returns the current head
   // so the caller can detect that routing went stale and re-locate.
-  Rev* wait_writable(Node* x, Rev* r) {
+  Rev* wait_writable(Node* x, Rev* r, const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
     for (;;) {
       if (r->version_now() != kPendingVersion)
-        return x->rev.load(std::memory_order_seq_cst);
-      if (help_revision(r)) continue;
+        return x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (help_revision(r, g)) continue;
       // Pending kAbsorbed marker: wait, but keep re-reading the head — an
       // aborted merge replaces its marker without ever stamping it, and
       // spinning on the dead revision alone would hang.
-      Rev* cur = x->rev.load(std::memory_order_seq_cst);
+      Rev* cur = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (cur != r) return cur;
       cpu_relax();
     }
@@ -897,10 +969,11 @@ class JiffyMap {
   // if only the stamp is missing, or replay a half-installed batch from its
   // descriptor. Returns false only for a pending kAbsorbed marker (its
   // merge may still be rolled back — the one state with nothing to help).
-  bool help_revision(Rev* r) {
-    if (try_help_stamp(r)) return true;
+  bool help_revision(Rev* r, const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
+    if (try_help_stamp(r, g)) return true;
     if (r->kind == RevKind::kBatch && r->cell && r->cell->batch) {
-      run_batch(static_cast<BatchDescriptor<K, V>*>(r->cell->batch), r->cell);
+      run_batch(static_cast<BatchDescriptor<K, V>*>(r->cell->batch), r->cell,
+                g);
       return true;
     }
     return false;
@@ -928,23 +1001,26 @@ class JiffyMap {
   // (installs go in ascending key order), so blocked-on edges cannot cycle.
   // A caller must hold an ebr::Guard: it keeps the pending revision — and
   // through its cell reference the descriptor — alive while helping.
-  void run_batch(BatchDescriptor<K, V>* d, VersionCell* cell) {
+  void run_batch(BatchDescriptor<K, V>* d, VersionCell* cell,
+                 const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
     const std::vector<BatchOp<K, V>>& sops = d->ops;
     std::vector<Rev*> replaced;
     std::int64_t delta = 0;
     for (;;) {
-      const std::size_t i = d->installed.load(std::memory_order_seq_cst);
+      const std::size_t i =
+          d->installed.load(std::memory_order_seq_cst);  // pairs: batch-watermark
       if (i >= sops.size()) break;
-      if (cell->version.load(std::memory_order_seq_cst) != kPendingVersion)
+      if (cell->version.load(std::memory_order_seq_cst) !=  // pairs: version-stamp
+          kPendingVersion)
         break;  // another thread already completed and stamped the batch
-      auto [x, r] = locate(sops[i].key);
+      auto [x, r] = locate(sops[i].key, g);
       if (r->cell == cell) {
         if (r->batch_hi > i) {
           // The group at the watermark is already installed — this very
           // revision covers it; publish the advance and move on.
           std::size_t e = i;
-          d->installed.compare_exchange_strong(e, r->batch_hi,
-                                               std::memory_order_seq_cst);
+          d->installed.compare_exchange_strong(
+              e, r->batch_hi, std::memory_order_seq_cst);  // pairs: batch-watermark
           continue;
         }
         // An *earlier* group's revision: ops[i] re-routed here across a
@@ -952,12 +1028,12 @@ class JiffyMap {
         // so they linearize together. Fall through with r as the base.
       } else {
         if (r->version_now() == kPendingVersion) {
-          if (!help_revision(r)) cpu_relax();  // pending marker: wait it out
+          if (!help_revision(r, g)) cpu_relax();  // pending marker: wait
           continue;
         }
         if (r->kind == RevKind::kAbsorbed) continue;  // died: re-route
       }
-      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
+      Node* nxt = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
       // The group [i, j) is every op routed to x's range. next[0] is stable
       // while x is headed by a pending revision (splits need a stamped
       // head, merges skip pending ones), so concurrent installers compute
@@ -965,9 +1041,10 @@ class JiffyMap {
       std::size_t j = i + 1;
       while (j < sops.size() && (!nxt || less_(sops[j].key, nxt->anchor))) ++j;
       sched::point(sched::Point::kBatchInstall);
-      Rev* nr = build_batch_rev(r, sops, i, j, cell);
+      Rev* nr = build_batch_rev(r, sops, i, j, cell, g);
       nr->batch_hi = j;
-      if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst)) {
+      if (!x->rev.compare_exchange_strong(
+              r, nr, std::memory_order_seq_cst)) {  // pairs: rev-install
         Rev::unref(nr, /*immediate=*/true);
         continue;  // lost the race (maybe to a helper): re-read watermark
       }
@@ -976,13 +1053,15 @@ class JiffyMap {
       replaced.push_back(r);
       sched::point(sched::Point::kBatchWatermark);
       std::size_t e = i;
-      d->installed.compare_exchange_strong(e, j, std::memory_order_seq_cst);
+      d->installed.compare_exchange_strong(
+          e, j, std::memory_order_seq_cst);  // pairs: batch-watermark
     }
+    // relaxed: approximate size counter (see approx_size).
     if (delta != 0) size_.fetch_add(delta, std::memory_order_relaxed);
     sched::point(sched::Point::kBatchStamp);
     std::uint64_t expected = kPendingVersion;
-    cell->version.compare_exchange_strong(expected, clock_.read(),
-                                          std::memory_order_seq_cst);
+    cell->version.compare_exchange_strong(
+        expected, clock_.read(), std::memory_order_seq_cst);  // pairs: version-stamp
     for (Rev* old : replaced) Rev::unref(old);
   }
 
@@ -1004,7 +1083,8 @@ class JiffyMap {
   //     the rollback path never publishes it), so only the stamp is
   //     missing; same late-stamp argument as batches;
   //   * kAbsorbed markers: never — their merge may still abort.
-  bool try_help_stamp(Rev* r) const {
+  bool try_help_stamp(Rev* r, [[maybe_unused]] const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
     if (r->kind == RevKind::kAbsorbed) return false;
     if (!r->cell) {
       if (r->kind != RevKind::kPlain) return false;
@@ -1014,7 +1094,8 @@ class JiffyMap {
     if (!r->cell->helpable && r->kind == RevKind::kBatch) {
       auto* d = static_cast<BatchDescriptor<K, V>*>(r->cell->batch);
       if (!d ||
-          d->installed.load(std::memory_order_seq_cst) != d->ops.size())
+          d->installed.load(std::memory_order_seq_cst) !=  // pairs: batch-watermark
+              d->ops.size())
         return false;
     }
     r->stamp(clock_.read());
@@ -1023,8 +1104,11 @@ class JiffyMap {
 
   // ---- installs -----------------------------------------------------------
 
-  bool install_plain(Node* x, Rev* r, Rev* nr) {
-    if (!x->rev.compare_exchange_strong(r, nr, std::memory_order_seq_cst))
+  bool install_plain(Node* x, Rev* r, Rev* nr,
+                     [[maybe_unused]] const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
+    if (!x->rev.compare_exchange_strong(
+            r, nr, std::memory_order_seq_cst))  // pairs: rev-install
       return false;
     sched::point(sched::Point::kPlainStamp);
     nr->stamp(clock_.read());
@@ -1035,7 +1119,8 @@ class JiffyMap {
   // Split x's content (plus the pending put of *k, if any) into parts of at
   // most max size: part 0 replaces x's revision, the rest become new nodes
   // published atomically through the revision's sibling pointer.
-  bool install_split(Node* x, Rev* r, const K* k, const V* v) {
+  bool install_split(Node* x, Rev* r, const K* k, const V* v,
+                     const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
     std::vector<Entry> merged;
     merged.reserve(r->count + 1);
     bool placed = (k == nullptr);
@@ -1061,16 +1146,18 @@ class JiffyMap {
     const std::uint32_t rem = total % nparts;
 
     auto* cell = new VersionCell;  // helpable: one CAS publishes everything
-    Node* old_next = x->next[0].load(std::memory_order_seq_cst);
+    Node* old_next = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     // Never record a condemned tombstone as the link target: the purge pass
     // is about to unlink it, so help it out first and re-read. (A condemn
     // landing after this check is caught by the pass's post-drain re-sweep;
     // see DESIGN.md §9.)
-    while (old_next && old_next->condemned.load(std::memory_order_seq_cst)) {
-      Node* nn = old_next->next[0].load(std::memory_order_seq_cst);
-      x->next[0].compare_exchange_strong(old_next, nn,
-                                         std::memory_order_seq_cst);
-      old_next = x->next[0].load(std::memory_order_seq_cst);
+    while (old_next &&
+           old_next->condemned.load(std::memory_order_seq_cst)) {  // pairs: condemn-flag
+      Node* nn =
+          old_next->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
+      x->next[0].compare_exchange_strong(
+          old_next, nn, std::memory_order_seq_cst);  // pairs: next-link
+      old_next = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     }
 
     std::vector<std::pair<std::uint32_t, std::uint32_t>> parts;  // [lo, hi)
@@ -1106,9 +1193,12 @@ class JiffyMap {
         b.emit(merged[e].first, merged[e].second);
       Rev* rp = b.finish();
       rp->cell = cell;
+      // relaxed: pre-publication refcount bump; the install CAS publishes.
       cell->refs.fetch_add(1, std::memory_order_relaxed);
       auto* m = new Node(random_height(), /*head=*/false, merged[plo].first);
+      // relaxed: the node is thread-private until the install CAS.
       m->rev.store(rp, std::memory_order_relaxed);
+      // relaxed: the node is thread-private until the install CAS.
       m->next[0].store(chain, std::memory_order_relaxed);
       chain = m;
       new_nodes.push_back(m);
@@ -1119,6 +1209,7 @@ class JiffyMap {
     {
       Node* left = x;
       for (std::size_t q = new_nodes.size(); q-- > 0;) {
+        // relaxed: the node is thread-private until the install CAS.
         new_nodes[q]->back.store(left, std::memory_order_relaxed);
         left = new_nodes[q];
       }
@@ -1129,13 +1220,16 @@ class JiffyMap {
       b0.emit(merged[e].first, merged[e].second);
     Rev* rlow = b0.finish();
     rlow->cell = cell;
+    // relaxed: pre-publication refcount bump; the install CAS publishes.
     cell->refs.fetch_add(1, std::memory_order_relaxed);
     rlow->prev = r;
     rlow->sibling = chain;
     rlow->link_expect = old_next;
 
-    if (!x->rev.compare_exchange_strong(r, rlow, std::memory_order_seq_cst)) {
+    if (!x->rev.compare_exchange_strong(
+            r, rlow, std::memory_order_seq_cst)) {  // pairs: rev-install
       for (Node* m : new_nodes) {
+        // relaxed: the node was never published; only this thread sees it.
         Rev::unref(m->rev.load(std::memory_order_relaxed), true);
         delete m;
       }
@@ -1143,17 +1237,19 @@ class JiffyMap {
       return false;
     }
     sched::point(sched::Point::kSplitLink);
-    ensure_link(x, rlow);
+    ensure_link(x, rlow, g);
     // Tighten the old successor's back hint onto the rightmost new node
     // (new_nodes[0]); stale hints only cost a longer forward re-walk.
     if (old_next && !new_nodes.empty())
-      old_next->back.store(new_nodes[0], std::memory_order_release);
+      old_next->back.store(new_nodes[0],
+                           std::memory_order_release);  // pairs: back-hint
     sched::point(sched::Point::kSplitStamp);
     rlow->stamp(clock_.read());
-    const std::uint64_t b_v = cell->version.load(std::memory_order_seq_cst);
+    const std::uint64_t b_v =
+        cell->version.load(std::memory_order_seq_cst);  // pairs: version-stamp
     for (Node* m : new_nodes) {
-      m->birth.store(b_v, std::memory_order_seq_cst);
-      index_insert(m);
+      m->birth.store(b_v, std::memory_order_seq_cst);  // pairs: birth-stamp
+      index_insert(m, g);
     }
     Rev::unref(r);
     return true;
@@ -1170,19 +1266,19 @@ class JiffyMap {
   // still reach its pre-merge chain through the marker's prev — until the
   // purge pass proves no reader below its death version survives and
   // physically unlinks it (towers included).
-  void maybe_merge(Node* x) {
+  void maybe_merge(Node* x, const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
     const std::uint32_t target = effective_max_size();
-    Rev* rx = x->rev.load(std::memory_order_seq_cst);
+    Rev* rx = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
     if (rx->kind == RevKind::kAbsorbed || rx->sibling ||
         rx->version_now() == kPendingVersion)
       return;
-    Node* s = x->next[0].load(std::memory_order_seq_cst);
+    Node* s = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     if (!s) return;
-    Rev* rs = s->rev.load(std::memory_order_seq_cst);
+    Rev* rs = s->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
     if (rs->kind == RevKind::kAbsorbed ||
         rs->version_now() == kPendingVersion)
       return;
-    if (rs->sibling) ensure_link(s, rs);
+    if (rs->sibling) ensure_link(s, rs, g);
     const std::size_t combined =
         std::size_t{rx->count} + std::size_t{rs->count};
     if (combined == 0 || combined > (target * 7) / 10 || combined > 0xFFFF)
@@ -1190,11 +1286,13 @@ class JiffyMap {
 
     auto* cell = new VersionCell;
     cell->helpable = false;
+    // relaxed: the cell is thread-private until the marker CAS publishes.
     cell->refs.store(1, std::memory_order_relaxed);  // writer's reference
 
     auto* marker = Rev::allocate(0);
     marker->kind = RevKind::kAbsorbed;
     marker->cell = cell;
+    // relaxed: pre-publication refcount bump; the marker CAS publishes.
     cell->refs.fetch_add(1, std::memory_order_relaxed);
     marker->prev = rs;
     marker->home = x;
@@ -1206,12 +1304,13 @@ class JiffyMap {
     for (const Entry& e : rs->entries()) b.emit(e.first, e.second);
     Rev* merged = b.finish();
     merged->cell = cell;
+    // relaxed: pre-publication refcount bump; the marker CAS publishes.
     cell->refs.fetch_add(1, std::memory_order_relaxed);
     merged->prev = rx;
 
     Rev* expect = rs;
-    if (!s->rev.compare_exchange_strong(expect, marker,
-                                        std::memory_order_seq_cst)) {
+    if (!s->rev.compare_exchange_strong(
+            expect, marker, std::memory_order_seq_cst)) {  // pairs: rev-install
       Rev::unref(marker, /*immediate=*/true);
       Rev::unref(merged, /*immediate=*/true);
       release_cell(cell);
@@ -1219,8 +1318,8 @@ class JiffyMap {
     }
     sched::point(sched::Point::kMergeMarker);
     expect = rx;
-    if (!x->rev.compare_exchange_strong(expect, merged,
-                                        std::memory_order_seq_cst)) {
+    if (!x->rev.compare_exchange_strong(
+            expect, merged, std::memory_order_seq_cst)) {  // pairs: rev-install
       // x changed under us: undo s by restoring its content over the
       // marker. Nobody else replaces a pending marker (writers spin on it,
       // other merges skip pending heads), so this CAS cannot fail.
@@ -1231,7 +1330,7 @@ class JiffyMap {
       restore->prev = marker;
       Rev* fe = marker;
       const bool restored = s->rev.compare_exchange_strong(
-          fe, restore, std::memory_order_seq_cst);
+          fe, restore, std::memory_order_seq_cst);  // pairs: rev-install
       assert(restored);
       (void)restored;
       restore->stamp(clock_.read());
@@ -1246,15 +1345,19 @@ class JiffyMap {
     Rev::unref(rx);
     Rev::unref(rs);
     release_cell(cell);
+    // relaxed: purge-trigger estimate; crossing the threshold late or twice
+    // is harmless (purge() self-serializes on purging_).
     dead_shells_.fetch_add(1, std::memory_order_relaxed);
     if (cfg_.reclaim.auto_purge &&
+        // relaxed: same advisory threshold check as the bump above.
         dead_shells_.load(std::memory_order_relaxed) >=
             static_cast<std::int64_t>(cfg_.reclaim.threshold))
       purge();
   }
 
   static void release_cell(VersionCell* c) {
-    if (c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete c;
+    if (c->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)  // pairs: cell-refs
+      delete c;
   }
 
   // ---- reclamation internals (purge(), DESIGN.md §9) ----------------------
@@ -1276,15 +1379,18 @@ class JiffyMap {
   // but below the version a concurrently-registering snapshot pinned —
   // would be condemned out from under that live snapshot.
   // The caller owns the purge flag and holds an EBR guard.
-  void purge_collect() {
+  void purge_collect([[maybe_unused]] const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
     std::vector<std::pair<Node*, std::uint64_t>> cand;  // (shell, death v)
-    for (Node* x = head_->next[0].load(std::memory_order_seq_cst); x;
-         x = x->next[0].load(std::memory_order_seq_cst)) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);
+    for (Node* x =
+             head_->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
+         x; x = x->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
+      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (r->kind != RevKind::kAbsorbed) continue;
       const std::uint64_t dv = r->version_now();
       if (dv == kPendingVersion) continue;
-      if (x->condemned.load(std::memory_order_seq_cst)) continue;
+      if (x->condemned.load(std::memory_order_seq_cst))  // pairs: condemn-flag
+        continue;
       cand.emplace_back(x, dv);
     }
     if (cand.empty()) return;
@@ -1292,7 +1398,8 @@ class JiffyMap {
     if (wm == 0) return;  // a ticket is mid-registration: next time
     for (const auto& [x, dv] : cand) {
       if (dv >= wm) continue;
-      if (!x->condemned.exchange(true, std::memory_order_seq_cst))
+      if (!x->condemned.exchange(true,
+                                 std::memory_order_seq_cst))  // pairs: condemn-flag
         purge_pending_.push_back(x);
     }
   }
@@ -1305,39 +1412,43 @@ class JiffyMap {
   // ensure_link's force-help path re-publishes a chain that may run through
   // a condemned node, and it must have fired before the sweep that is
   // expected to leave none behind.
-  std::size_t purge_sweep() {
+  std::size_t purge_sweep(const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
     std::size_t fixes = 0;
     Node* p = head_;
     while (p) {
-      Rev* rp = p->rev.load(std::memory_order_seq_cst);
-      if (rp->sibling) ensure_link(p, rp);
+      Rev* rp = p->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (rp->sibling) ensure_link(p, rp, g);
       // Splice condemned nodes (chains of them, one CAS each) out of every
       // tower slot.
       for (int l = 1; l < p->height; ++l) {
-        for (Node* t = p->next[l].load(std::memory_order_seq_cst);
-             t && t->condemned.load(std::memory_order_seq_cst);
-             t = p->next[l].load(std::memory_order_seq_cst)) {
-          Node* after = t->next[l].load(std::memory_order_seq_cst);
-          if (p->next[l].compare_exchange_strong(t, after,
-                                                 std::memory_order_seq_cst))
+        for (Node* t = p->next[l].load(
+                 std::memory_order_seq_cst);  // pairs: next-link
+             t && t->condemned.load(std::memory_order_seq_cst);  // pairs: condemn-flag
+             t = p->next[l].load(std::memory_order_seq_cst)) {  // pairs: next-link
+          Node* after =
+              t->next[l].load(std::memory_order_seq_cst);  // pairs: next-link
+          if (p->next[l].compare_exchange_strong(
+                  t, after, std::memory_order_seq_cst))  // pairs: next-link
             ++fixes;
         }
       }
-      Node* c = p->next[0].load(std::memory_order_seq_cst);
+      Node* c = p->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
       if (!c) break;
-      if (c->condemned.load(std::memory_order_seq_cst)) {
-        Node* after = c->next[0].load(std::memory_order_seq_cst);
-        if (p->next[0].compare_exchange_strong(c, after,
-                                               std::memory_order_seq_cst))
+      if (c->condemned.load(std::memory_order_seq_cst)) {  // pairs: condemn-flag
+        Node* after =
+            c->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
+        if (p->next[0].compare_exchange_strong(
+                c, after, std::memory_order_seq_cst))  // pairs: next-link
           ++fixes;
         continue;  // re-examine p's (possibly new) successor
       }
       // Back hints are only hints, but they must never dangle: retarget any
       // that point into the condemned set at the current live predecessor
       // (a strict list predecessor — all the hint contract promises).
-      Node* hint = c->back.load(std::memory_order_acquire);
-      if (hint && hint->condemned.load(std::memory_order_seq_cst)) {
-        c->back.store(p, std::memory_order_release);
+      Node* hint = c->back.load(std::memory_order_acquire);  // pairs: back-hint
+      if (hint &&
+          hint->condemned.load(std::memory_order_seq_cst)) {  // pairs: condemn-flag
+        c->back.store(p, std::memory_order_release);  // pairs: back-hint
         ++fixes;
       }
       p = c;
@@ -1346,14 +1457,17 @@ class JiffyMap {
   }
 
   // Post-drain, post-clean-sweep: the shells are permanently unreachable.
-  std::size_t purge_retire_pending() {
+  std::size_t purge_retire_pending([[maybe_unused]] const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
     const std::size_t n = purge_pending_.size();
     for (Node* x : purge_pending_) {
       sched::point(sched::Point::kPurgeRetire);
       ebr::retire_fn(x, &delete_dead_node);
     }
     purge_pending_.clear();
+    // relaxed: lifetime statistic read by debug_stats only.
     purged_total_.fetch_add(n, std::memory_order_relaxed);
+    // relaxed: purge-trigger estimate (see maybe_merge).
     dead_shells_.fetch_sub(static_cast<std::int64_t>(n),
                            std::memory_order_relaxed);
     return n;
@@ -1365,12 +1479,16 @@ class JiffyMap {
   // Revision), and its destructor releases the shared cell reference.
   static void delete_dead_node(void* p) {
     auto* n = static_cast<Node*>(p);
+    // relaxed: the shell is unreachable (post-drain) — no concurrent writer
+    // exists, and EBR's epoch protocol ordered all prior stores.
     Rev::unref(n->rev.load(std::memory_order_relaxed), /*immediate=*/true);
     delete n;
   }
 
   Rev* build_batch_rev(Rev* r, const std::vector<BatchOp<K, V>>& ops,
-                       std::size_t i, std::size_t j, VersionCell* cell) {
+                       std::size_t i, std::size_t j, VersionCell* cell,
+                       [[maybe_unused]] const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
     RevisionBuilder<K, V, Hash> b(
         RevKind::kBatch, static_cast<std::uint32_t>(r->count + (j - i)),
         kPendingVersion, cfg_.hash_index);
@@ -1393,6 +1511,7 @@ class JiffyMap {
     }
     Rev* nr = b.finish();
     nr->cell = cell;
+    // relaxed: pre-publication refcount bump; the install CAS publishes.
     cell->refs.fetch_add(1, std::memory_order_relaxed);
     nr->prev = r;
     return nr;
@@ -1407,10 +1526,12 @@ class JiffyMap {
   // stamped). Stamping before returning contents matters: otherwise a
   // snapshot taken after this read could be versioned below the (late)
   // stamp and miss a value the read already observed.
-  const Entry* find_live(const K& k) const {
+  const Entry* find_live(const K& k, const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
     for (;;) {
-      auto [x, r] = locate(k);
-      while (r && r->version_now() == kPendingVersion && !try_help_stamp(r))
+      auto [x, r] = locate(k, g);
+      while (r && r->version_now() == kPendingVersion &&
+             !try_help_stamp(r, g))
         r = r->prev;
       if (!r) return nullptr;
       // locate() may hand us a merge marker that was pending then and got
@@ -1427,10 +1548,12 @@ class JiffyMap {
   // revisions whose linearization is complete (required for reclamation
   // safety and batch/merge consistency, see try_help_stamp); pending
   // half-installed batches are not yet linearized and are skipped.
-  Rev* visible_rev(Rev* r, std::uint64_t v) const {
+  Rev* visible_rev(Rev* r, std::uint64_t v, const ebr::Guard& g,
+                   [[maybe_unused]] const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     while (r) {
       std::uint64_t t = r->version_now();
-      if (t == kPendingVersion && try_help_stamp(r)) t = r->version_now();
+      if (t == kPendingVersion && try_help_stamp(r, g)) t = r->version_now();
       if (t <= v) return r;  // pending (== ~0) is never <= v
       r = r->prev;
     }
@@ -1449,29 +1572,36 @@ class JiffyMap {
   // the nearest contributing node, and a miss there loses entries; the
   // dead-at-v arm must stay exact too, or equal-anchor tombstone/rebirth
   // chains would hide a live holder behind a dead one.
-  bool held_at(Node* n, std::uint64_t v) const {
-    Rev* h = n->rev.load(std::memory_order_seq_cst);
-    if (h->sibling) ensure_link(n, h);
+  bool held_at(Node* n, std::uint64_t v, const ebr::Guard& g,
+               const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
+    Rev* h = n->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+    if (h->sibling) ensure_link(n, h, g);
     if (h->kind == RevKind::kAbsorbed && h->version_now() <= v) return false;
-    const std::uint64_t b = n->birth.load(std::memory_order_seq_cst);
+    const std::uint64_t b =
+        n->birth.load(std::memory_order_seq_cst);  // pairs: birth-stamp
     if (b != kPendingVersion) return b <= v;
-    return visible_rev(h, v) != nullptr;  // birth stamp still propagating
+    // birth stamp still propagating: ask the chain itself
+    return visible_rev(h, v, g, tk) != nullptr;
   }
 
   // Last node with anchor <= from that held its range at version v.
-  Node* position(const K& from, std::uint64_t v) const {
+  Node* position(const K& from, std::uint64_t v, const ebr::Guard& g,
+                 const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     Node* x = head_;
     for (int l = Node::kMaxHeight - 1; l >= 1; --l) {
-      for (Node* nxt = x->next[l].load(std::memory_order_acquire);
-           nxt && !less_(from, nxt->anchor) && held_at(nxt, v);
-           nxt = x->next[l].load(std::memory_order_acquire))
+      for (Node* nxt =
+               x->next[l].load(std::memory_order_acquire);  // pairs: next-link
+           nxt && !less_(from, nxt->anchor) && held_at(nxt, v, g, tk);
+           nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
         x = nxt;
     }
     Node* best = x;
-    for (Node* cur = x->next[0].load(std::memory_order_seq_cst);
+    for (Node* cur = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
          cur && !less_(from, cur->anchor);
-         cur = cur->next[0].load(std::memory_order_seq_cst)) {
-      if (held_at(cur, v)) best = cur;
+         cur = cur->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
+      if (held_at(cur, v, g, tk)) best = cur;
     }
     return best;
   }
@@ -1480,14 +1610,15 @@ class JiffyMap {
   // Split overlap (an old full revision plus a sibling's copy visible in the
   // same window) is deduplicated by requiring strictly increasing keys.
   template <class F>
-  std::size_t scan_at(const K& from, std::size_t n, std::uint64_t v,
-                      F&& f) const {
+  std::size_t scan_at(const K& from, std::size_t n, std::uint64_t v, F&& f,
+                      const ebr::Guard& g, const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     std::size_t emitted = 0;
     const K* last = nullptr;
-    for (Node* x = position(from, v); x && emitted < n;) {
-      Rev* head = x->rev.load(std::memory_order_seq_cst);
-      if (head->sibling) ensure_link(x, head);
-      if (Rev* r = visible_rev(head, v)) {
+    for (Node* x = position(from, v, g, tk); x && emitted < n;) {
+      Rev* head = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (head->sibling) ensure_link(x, head, g);
+      if (Rev* r = visible_rev(head, v, g, tk)) {
         const Entry* it = std::lower_bound(
             r->begin(), r->end(), from,
             [&](const Entry& e, const K& key) { return less_(e.first, key); });
@@ -1498,7 +1629,7 @@ class JiffyMap {
           ++emitted;
         }
       }
-      x = x->next[0].load(std::memory_order_seq_cst);
+      x = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
     }
     return emitted;
   }
@@ -1506,23 +1637,35 @@ class JiffyMap {
   // Versioned point lookup: invoke f on k's entry at version v, if present
   // (backs get_at and Snapshot::contains).
   template <class F>
-  void with_entry_at(const K& k, std::uint64_t v, F&& f) const {
-    scan_at(k, 1, v, [&](const K& key, const V& val) {
-      if (!less_(k, key) && !less_(key, k)) f(key, val);
-    });
+  void with_entry_at(const K& k, std::uint64_t v, F&& f, const ebr::Guard& g,
+                     const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
+    scan_at(
+        k, 1, v,
+        [&](const K& key, const V& val) {
+          if (!less_(k, key) && !less_(key, k)) f(key, val);
+        },
+        g, tk);
   }
 
-  std::optional<V> get_at(const K& k, std::uint64_t v) const {
+  std::optional<V> get_at(const K& k, std::uint64_t v, const ebr::Guard& g,
+                          const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     std::optional<V> out;
-    with_entry_at(k, v, [&](const K&, const V& val) { out = val; });
+    with_entry_at(
+        k, v, [&](const K&, const V& val) { out = val; }, g, tk);
     return out;
   }
 
   // Consistent descending visit of up to n entries <= from at version v,
   // driven by the reverse cursor (which walks the backward links).
+  // The guard/ticket parameters witness that v is still covered while the
+  // cursor (which then pins it itself) is constructed.
   template <class F>
-  std::size_t rscan_at(const K& from, std::size_t n, std::uint64_t v,
-                       F&& f) const {
+  std::size_t rscan_at(const K& from, std::size_t n, std::uint64_t v, F&& f,
+                       [[maybe_unused]] const ebr::Guard& g,
+                       [[maybe_unused]] const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     SnapCursor<JiffyMap> c(this, v);
     std::size_t emitted = 0;
     for (c.seek_for_prev(from); c.valid() && emitted < n; c.prev()) {
@@ -1534,8 +1677,10 @@ class JiffyMap {
 
   // Consistent ordered visit of every entry in [lo, hi) at version v.
   template <class F>
-  std::size_t range_at(const K& lo, const K& hi, std::uint64_t v,
-                       F&& f) const {
+  std::size_t range_at(const K& lo, const K& hi, std::uint64_t v, F&& f,
+                       [[maybe_unused]] const ebr::Guard& g,
+                       [[maybe_unused]] const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     SnapCursor<JiffyMap> c(this, v);
     std::size_t emitted = 0;
     for (c.seek(lo); c.in_range_below(hi); c.next()) {
@@ -1552,41 +1697,46 @@ class JiffyMap {
   // is on the level-0 chain because nodes are never physically unlinked.
   // Reverse traversal therefore inherits the forward walk's
   // version-visibility rules; the hints only buy locality.
-  Node* pred_at(Node* x, std::uint64_t v) const {
+  Node* pred_at(Node* x, std::uint64_t v, const ebr::Guard& g,
+                const ebr::VersionTicket& tk) const
+      JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     if (x == head_) return nullptr;
-    Node* hint = x->back.load(std::memory_order_acquire);
+    Node* hint = x->back.load(std::memory_order_acquire);  // pairs: back-hint
     Node* p = hint ? hint : head_;
-    while (p != head_ && !held_at(p, v)) {
-      Node* q = p->back.load(std::memory_order_acquire);
+    while (p != head_ && !held_at(p, v, g, tk)) {
+      Node* q = p->back.load(std::memory_order_acquire);  // pairs: back-hint
       p = q ? q : head_;
     }
     Node* best = p;  // the head held every version; p held v by the loop
-    for (Node* cur = p->next[0].load(std::memory_order_seq_cst);
+    for (Node* cur = p->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
          cur && less_(cur->anchor, x->anchor);
-         cur = cur->next[0].load(std::memory_order_seq_cst)) {
-      if (held_at(cur, v)) best = cur;
+         cur = cur->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
+      if (held_at(cur, v, g, tk)) best = cur;
     }
     // Tighten the hint — but never to a condemned node: the purge pass
     // scrubs stale hints before retiring a shell, and a reader must not
     // plant fresh ones behind its back (ticketed versions make `best`
     // condemned only in the brief window before the condemn flag is seen).
-    if (best != hint && !best->condemned.load(std::memory_order_seq_cst))
-      x->back.store(best, std::memory_order_release);
+    if (best != hint &&
+        !best->condemned.load(std::memory_order_seq_cst))  // pairs: condemn-flag
+      x->back.store(best, std::memory_order_release);  // pairs: back-hint
     return best;
   }
 
   // Rightmost node currently linked (completing pending split links on the
   // way so the fringe is reachable); seeds seek_to_last.
-  Node* rightmost() const {
+  Node* rightmost(const ebr::Guard& g) const JIFFY_REQUIRES_GUARD(g) {
     Node* x = head_;
     for (int l = Node::kMaxHeight - 1; l >= 1; --l)
-      for (Node* nxt = x->next[l].load(std::memory_order_acquire); nxt;
-           nxt = x->next[l].load(std::memory_order_acquire))
+      for (Node* nxt =
+               x->next[l].load(std::memory_order_acquire);  // pairs: next-link
+           nxt;
+           nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
         x = nxt;
     for (;;) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);
-      if (r->sibling) ensure_link(x, r);
-      Node* nxt = x->next[0].load(std::memory_order_seq_cst);
+      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+      if (r->sibling) ensure_link(x, r, g);
+      Node* nxt = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
       if (!nxt) return x;
       x = nxt;
     }
@@ -1617,21 +1767,26 @@ class JiffyMap {
   // Link a freshly split node into tower levels 1..height-1. Only its
   // creator calls this; towers are insert-only so a plain CAS per level
   // suffices.
-  void index_insert(Node* m) {
+  void index_insert(Node* m, [[maybe_unused]] const ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
     for (int l = 1; l < m->height; ++l) {
       for (;;) {
         Node* pred = head_;
         for (int dl = Node::kMaxHeight - 1; dl >= l; --dl) {
-          for (Node* nxt = pred->next[dl].load(std::memory_order_acquire);
+          for (Node* nxt =
+                   pred->next[dl].load(std::memory_order_acquire);  // pairs: next-link
                nxt && less_(nxt->anchor, m->anchor);
-               nxt = pred->next[dl].load(std::memory_order_acquire))
+               nxt = pred->next[dl].load(std::memory_order_acquire))  // pairs: next-link
             pred = nxt;
         }
-        Node* succ = pred->next[l].load(std::memory_order_acquire);
+        Node* succ =
+            pred->next[l].load(std::memory_order_acquire);  // pairs: next-link
         if (succ == m) break;
+        // relaxed: m's slot at level l is unreachable until the CAS below
+        // publishes it (only its creator links level l).
         m->next[l].store(succ, std::memory_order_relaxed);
         if (pred->next[l].compare_exchange_strong(
-                succ, m, std::memory_order_seq_cst))
+                succ, m, std::memory_order_seq_cst))  // pairs: next-link
           break;
       }
     }
@@ -1718,15 +1873,30 @@ class SnapCursor {
   }
 
   void seek(const K& k) {
-    land_forward(map_->position(k, v_), &k, /*inclusive=*/true);
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    land_forward(map_->position(k, v_, guard_, ticket_), &k,
+                 /*inclusive=*/true);
   }
 
   void seek_for_prev(const K& k) {
-    land_backward(map_->position(k, v_), &k, /*inclusive=*/true);
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    land_backward(map_->position(k, v_, guard_, ticket_), &k,
+                  /*inclusive=*/true);
   }
 
-  void seek_to_first() { land_forward(map_->head_, nullptr, true); }
-  void seek_to_last() { land_backward(map_->rightmost(), nullptr, true); }
+  void seek_to_first() {
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    land_forward(map_->head_, nullptr, true);
+  }
+
+  void seek_to_last() {
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    land_backward(map_->rightmost(guard_), nullptr, true);
+  }
 
   void next() {
     if (!valid_) return;  // stepping an invalid cursor is a no-op
@@ -1737,9 +1907,11 @@ class SnapCursor {
       ++idx_;
       return;
     }
+    guard_.assert_held();
+    ticket_.assert_pinned();
     const K cur = key();
-    land_forward(node_->next[0].load(std::memory_order_seq_cst), &cur,
-                 /*inclusive=*/false);
+    land_forward(node_->next[0].load(std::memory_order_seq_cst),  // pairs: next-link
+                 &cur, /*inclusive=*/false);
   }
 
   void prev() {
@@ -1748,8 +1920,11 @@ class SnapCursor {
       --idx_;
       return;
     }
+    guard_.assert_held();
+    ticket_.assert_pinned();
     const K cur = key();
-    land_backward(map_->pred_at(node_, v_), &cur, /*inclusive=*/false);
+    land_backward(map_->pred_at(node_, v_, guard_, ticket_), &cur,
+                  /*inclusive=*/false);
   }
 
  private:
@@ -1765,22 +1940,24 @@ class SnapCursor {
   }
 
   // The node's visible revision at v (completing pending split links first).
-  Rev* visible_head(Node* x) const {
-    Rev* h = x->rev.load(std::memory_order_seq_cst);
-    if (h->sibling) map_->ensure_link(x, h);
-    return map_->visible_rev(h, v_);
+  Rev* visible_head(Node* x) const JIFFY_REQUIRES(guard_, ticket_) {
+    Rev* h = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+    if (h->sibling) map_->ensure_link(x, h, guard_);
+    return map_->visible_rev(h, v_, guard_, ticket_);
   }
 
   // Land on the first visible entry >= *bound (> when !inclusive) in x or
   // any node to its right; invalidate when none exists.
-  void land_forward(Node* x, const K* bound, bool inclusive) {
+  void land_forward(Node* x, const K* bound, bool inclusive)
+      JIFFY_REQUIRES(guard_, ticket_) {
     auto el = [this](const Entry& e, const K& k) {
       return map_->less_(e.first, k);
     };
     auto le = [this](const K& k, const Entry& e) {
       return map_->less_(k, e.first);
     };
-    for (; x; x = x->next[0].load(std::memory_order_seq_cst)) {
+    for (; x;
+         x = x->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
       if (Rev* r = visible_head(x)) {
         std::uint32_t i = 0;
         if (bound) {
@@ -1800,14 +1977,15 @@ class SnapCursor {
 
   // Land on the last visible entry <= *bound (< when !inclusive) in x or
   // any node to its left; invalidate when none exists.
-  void land_backward(Node* x, const K* bound, bool inclusive) {
+  void land_backward(Node* x, const K* bound, bool inclusive)
+      JIFFY_REQUIRES(guard_, ticket_) {
     auto el = [this](const Entry& e, const K& k) {
       return map_->less_(e.first, k);
     };
     auto le = [this](const K& k, const Entry& e) {
       return map_->less_(k, e.first);
     };
-    for (; x; x = map_->pred_at(x, v_)) {
+    for (; x; x = map_->pred_at(x, v_, guard_, ticket_)) {
       if (Rev* r = visible_head(x)) {
         std::uint32_t i = r->count;
         if (bound) {
@@ -1859,23 +2037,37 @@ class Snapshot {
 
   std::uint64_t version() const { return version_; }
 
-  std::optional<V> get(const K& k) const { return map_->get_at(k, version_); }
+  std::optional<V> get(const K& k) const {
+    guard_.assert_held();  // class invariant: members pin epoch + version
+    ticket_.assert_pinned();
+    return map_->get_at(k, version_, guard_, ticket_);
+  }
 
   // Membership without materializing the value.
   bool contains(const K& k) const {
+    guard_.assert_held();
+    ticket_.assert_pinned();
     bool found = false;
-    map_->with_entry_at(k, version_, [&](const K&, const V&) { found = true; });
+    map_->with_entry_at(
+        k, version_, [&](const K&, const V&) { found = true; }, guard_,
+        ticket_);
     return found;
   }
 
   template <class F>
   std::size_t scan_n(const K& from, std::size_t n, F&& f) const {
-    return map_->scan_at(from, n, version_, std::forward<F>(f));
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    return map_->scan_at(from, n, version_, std::forward<F>(f), guard_,
+                         ticket_);
   }
 
   template <class F>
   std::size_t rscan_n(const K& from, std::size_t n, F&& f) const {
-    return map_->rscan_at(from, n, version_, std::forward<F>(f));
+    guard_.assert_held();
+    ticket_.assert_pinned();
+    return map_->rscan_at(from, n, version_, std::forward<F>(f), guard_,
+                          ticket_);
   }
 
   // ---- cursors ------------------------------------------------------------

@@ -99,7 +99,7 @@ class FaultPlan {
 
   // -------- test-side runtime queries / teardown --------
   std::size_t blocked() const {
-    return blocked_.load(std::memory_order_acquire);
+    return blocked_.load(std::memory_order_acquire);  // pairs: sched-blocked
   }
   void release_all() {
     {
@@ -109,6 +109,7 @@ class FaultPlan {
     cv_.notify_all();
   }
   std::uint64_t hits(Point p) const {
+    // relaxed: advisory statistic; tests read it after joining the workers.
     return hits_[static_cast<unsigned>(p)].load(std::memory_order_relaxed);
   }
 
@@ -116,15 +117,19 @@ class FaultPlan {
   // The plan must outlive every thread that can hit a point, and triggers_
   // must not change after install.
   static void install(FaultPlan* p) {
-    current().store(p, std::memory_order_seq_cst);
+    current().store(p, std::memory_order_seq_cst);  // pairs: sched-plan
   }
-  static void uninstall() { current().store(nullptr, std::memory_order_seq_cst); }
+  static void uninstall() {
+    current().store(nullptr, std::memory_order_seq_cst);  // pairs: sched-plan
+  }
   static FaultPlan* installed() {
-    return current().load(std::memory_order_acquire);
+    return current().load(std::memory_order_acquire);  // pairs: sched-plan
   }
 
   // -------- engine side --------
   void on_point(Point p) {
+    // relaxed: per-point hit counter; triggers only compare the value this
+    // thread observed, and cross-thread totals are advisory.
     const std::uint64_t n =
         hits_[static_cast<unsigned>(p)].fetch_add(1, std::memory_order_relaxed) +
         1;
@@ -167,9 +172,9 @@ class FaultPlan {
       case Action::kBlock: {
         std::unique_lock<std::mutex> lk(mu_);
         if (released_) break;  // plan already torn down: pass through
-        blocked_.fetch_add(1, std::memory_order_release);
+        blocked_.fetch_add(1, std::memory_order_release);  // pairs: sched-blocked
         cv_.wait(lk, [this] { return released_; });
-        blocked_.fetch_sub(1, std::memory_order_release);
+        blocked_.fetch_sub(1, std::memory_order_release);  // pairs: sched-blocked
         break;
       }
     }

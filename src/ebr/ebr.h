@@ -13,7 +13,9 @@
 // (DESIGN.md §5) leans on this total order: a reader whose guard began after
 // an object was retired is guaranteed to observe every store the retiring
 // thread made before the retire (in particular version stamps), so it never
-// walks a revision chain into memory it is not protecting.
+// walks a revision chain into memory it is not protecting. Every atomic site
+// below carries a `pairs:`/`relaxed:` annotation checked by
+// tools/atomic_audit.py against the DESIGN.md §10 catalog.
 //
 // Beyond guards, this header tracks *versions*: a VersionTicket registers
 // the TSC version a reader is pinned at (a snapshot, a cursor, one scan),
@@ -24,12 +26,20 @@
 // clock read in the seq_cst order, so every death version it collected was
 // stamped earlier still — globally monotonic TSC then guarantees the missed
 // reader's version lies above them all.
+//
+// Static analysis (DESIGN.md §10): Guard and VersionTicket are Clang
+// thread-safety capabilities. Internal entry points of the engine take them
+// as annotated reference parameters; holding is established by
+// assert_held()/assert_pinned() immediately after construction (or behind a
+// class invariant that owns a live member token).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/analysis.h"
 
 namespace jiffy::ebr {
 
@@ -74,33 +84,41 @@ inline void free_bucket(std::vector<Retired>& b) {
 // Returns the (possibly unchanged) current epoch.
 inline std::uint64_t try_advance() {
   Global& g = global();
-  const std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
-  for (ThreadRec* r = g.head.load(std::memory_order_acquire); r;
-       r = r->next) {
-    const std::uint64_t pinned = r->pinned.load(std::memory_order_seq_cst);
+  const std::uint64_t e =
+      g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
+  for (ThreadRec* r =
+           g.head.load(std::memory_order_acquire);  // pairs: registry-link
+       r; r = r->next) {
+    const std::uint64_t pinned =
+        r->pinned.load(std::memory_order_seq_cst);  // pairs: ebr-pin
     if (pinned != kIdleEpoch && pinned != e) return e;
   }
   std::uint64_t expected = e;
-  g.epoch.compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);
-  return g.epoch.load(std::memory_order_seq_cst);
+  g.epoch.compare_exchange_strong(expected, e + 1,
+                                  std::memory_order_seq_cst);  // pairs: ebr-epoch
+  return g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
 }
 
 inline ThreadRec* acquire_rec() {
   Global& g = global();
-  for (ThreadRec* r = g.head.load(std::memory_order_acquire); r;
-       r = r->next) {
+  for (ThreadRec* r =
+           g.head.load(std::memory_order_acquire);  // pairs: registry-link
+       r; r = r->next) {
     bool expected = false;
+    // relaxed: racy pre-check only; the CAS below is the synchronizing op.
     if (!r->in_use.load(std::memory_order_relaxed) &&
-        r->in_use.compare_exchange_strong(expected, true,
-                                          std::memory_order_acq_rel))
+        r->in_use.compare_exchange_strong(
+            expected, true,
+            std::memory_order_acq_rel))  // pairs: ebr-rec-recycle
       return r;
   }
   auto* r = new ThreadRec;
-  ThreadRec* head = g.head.load(std::memory_order_acquire);
+  ThreadRec* head = g.head.load(std::memory_order_acquire);  // pairs: registry-link
   do {
     r->next = head;
-  } while (!g.head.compare_exchange_weak(head, r, std::memory_order_acq_rel,
-                                         std::memory_order_acquire));
+  } while (!g.head.compare_exchange_weak(
+      head, r, std::memory_order_acq_rel,
+      std::memory_order_acquire));  // pairs: registry-link
   return r;
 }
 
@@ -113,7 +131,9 @@ struct ThreadHandle {
   }
 
   ~ThreadHandle() {
-    if (rec) rec->in_use.store(false, std::memory_order_release);
+    if (rec)
+      rec->in_use.store(false,
+                        std::memory_order_release);  // pairs: ebr-rec-recycle
   }
 };
 
@@ -132,18 +152,23 @@ inline void collect(ThreadRec* rec, std::uint64_t now) {
 
 }  // namespace detail
 
-// RAII epoch pin. Nestable; only the outermost guard publishes.
-class Guard {
+// RAII epoch pin. Nestable; only the outermost guard publishes. A Guard is a
+// Clang thread-safety capability (DESIGN.md §10): functions that dereference
+// node/revision memory take `const Guard&` annotated JIFFY_REQUIRES_GUARD.
+class JIFFY_CAPABILITY("ebr_guard") Guard {
  public:
   Guard() : rec_(detail::my_rec()) {
+    // relaxed: nest is only ever touched by its owning thread.
     if (rec_->nest.fetch_add(1, std::memory_order_relaxed) == 0) {
       detail::Global& g = detail::global();
       // Publish the pin, then re-check: the epoch may have advanced between
       // the read and the store, in which case re-pin at the newer epoch.
-      std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+      std::uint64_t e =
+          g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
       for (;;) {
-        rec_->pinned.store(e, std::memory_order_seq_cst);
-        const std::uint64_t now = g.epoch.load(std::memory_order_seq_cst);
+        rec_->pinned.store(e, std::memory_order_seq_cst);  // pairs: ebr-pin
+        const std::uint64_t now =
+            g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
         if (now == e) break;
         e = now;
       }
@@ -151,12 +176,20 @@ class Guard {
   }
 
   ~Guard() {
+    // relaxed: nest is only ever touched by its owning thread.
     if (rec_->nest.fetch_sub(1, std::memory_order_relaxed) == 1)
-      rec_->pinned.store(detail::kIdleEpoch, std::memory_order_seq_cst);
+      rec_->pinned.store(detail::kIdleEpoch,
+                         std::memory_order_seq_cst);  // pairs: ebr-pin
   }
 
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
+
+  // Tells the thread-safety analysis this guard is live. Call immediately
+  // after construction, or from a method whose class invariant owns a live
+  // member guard (Snapshot, SnapCursor). The constructor is the ground
+  // truth; this is the trust boundary of the ASSERT_CAPABILITY pattern.
+  void assert_held() const JIFFY_ASSERT_CAPABILITY(this) {}
 
  private:
   detail::ThreadRec* rec_;
@@ -169,7 +202,7 @@ inline void retire_fn(void* p, void (*deleter)(void*)) {
   using namespace detail;
   ThreadRec* rec = my_rec();
   Global& g = global();
-  std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);
+  std::uint64_t e = g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
   auto& bucket = rec->limbo[e % 3];
   // A bucket is reused every third epoch; whatever is still in it is at
   // least three epochs old and safe to free now.
@@ -195,7 +228,8 @@ void retire(T* p) {
 // that was active at that reading has ended — the drain condition the purge
 // pass uses between unlinking and retiring shells.
 inline std::uint64_t current_epoch() {
-  return detail::global().epoch.load(std::memory_order_seq_cst);
+  return detail::global().epoch.load(
+      std::memory_order_seq_cst);  // pairs: ebr-epoch
 }
 
 // Best-effort drain for quiescent moments (tests, shutdown): repeatedly
@@ -233,21 +267,27 @@ inline VersionRegistry& version_registry() {
 
 inline VersionSlot* acquire_version_slot() {
   VersionRegistry& reg = version_registry();
-  for (VersionSlot* s = reg.head.load(std::memory_order_acquire); s;
-       s = s->next) {
+  for (VersionSlot* s =
+           reg.head.load(std::memory_order_acquire);  // pairs: registry-link
+       s; s = s->next) {
     bool expected = false;
+    // relaxed: racy pre-check only; the CAS below is the synchronizing op.
     if (!s->in_use.load(std::memory_order_relaxed) &&
-        s->in_use.compare_exchange_strong(expected, true,
-                                          std::memory_order_acq_rel))
+        s->in_use.compare_exchange_strong(
+            expected, true,
+            std::memory_order_acq_rel))  // pairs: ebr-rec-recycle
       return s;
   }
   auto* s = new VersionSlot;
+  // relaxed: the slot is thread-private until the head CAS publishes it.
   s->in_use.store(true, std::memory_order_relaxed);
-  VersionSlot* head = reg.head.load(std::memory_order_acquire);
+  VersionSlot* head =
+      reg.head.load(std::memory_order_acquire);  // pairs: registry-link
   do {
     s->next = head;
-  } while (!reg.head.compare_exchange_weak(head, s, std::memory_order_acq_rel,
-                                           std::memory_order_acquire));
+  } while (!reg.head.compare_exchange_weak(
+      head, s, std::memory_order_acq_rel,
+      std::memory_order_acquire));  // pairs: registry-link
   return s;
 }
 
@@ -258,24 +298,31 @@ inline VersionSlot* acquire_version_slot() {
 // BEFORE reading the clock for the version it will publish — construction
 // publishes the sentinel 0, which blocks the purge watermark until the real
 // version lands. publish() may be called again (cursors that get re-pointed
-// republish).
-class VersionTicket {
+// republish). A ticket is a Clang thread-safety capability: versioned-read
+// entry points take `const VersionTicket&` annotated JIFFY_REQUIRES_TICKET.
+class JIFFY_CAPABILITY("version_ticket") VersionTicket {
  public:
   VersionTicket() : slot_(detail::acquire_version_slot()) {
-    slot_->v.store(0, std::memory_order_seq_cst);  // reserving
+    slot_->v.store(0, std::memory_order_seq_cst);  // pairs: version-pin
   }
 
   ~VersionTicket() {
-    slot_->v.store(detail::kIdleVersion, std::memory_order_seq_cst);
-    slot_->in_use.store(false, std::memory_order_release);
+    slot_->v.store(detail::kIdleVersion,
+                   std::memory_order_seq_cst);  // pairs: version-pin
+    slot_->in_use.store(false,
+                        std::memory_order_release);  // pairs: ebr-rec-recycle
   }
 
   VersionTicket(const VersionTicket&) = delete;
   VersionTicket& operator=(const VersionTicket&) = delete;
 
   void publish(std::uint64_t v) {
-    slot_->v.store(v, std::memory_order_seq_cst);
+    slot_->v.store(v, std::memory_order_seq_cst);  // pairs: version-pin
   }
+
+  // Tells the thread-safety analysis this ticket is live (see
+  // Guard::assert_held; same trust boundary, same placement rules).
+  void assert_pinned() const JIFFY_ASSERT_CAPABILITY(this) {}
 
  private:
   detail::VersionSlot* slot_;
@@ -291,11 +338,14 @@ class VersionTicket {
 // version lands above every death version a concurrent scan collected.
 inline std::uint64_t min_active_version() {
   std::uint64_t m = detail::kIdleVersion;
-  for (detail::VersionSlot* s =
-           detail::version_registry().head.load(std::memory_order_acquire);
+  for (detail::VersionSlot* s = detail::version_registry().head.load(
+           std::memory_order_acquire);  // pairs: registry-link
        s; s = s->next) {
+    // pairs: ebr-rec-recycle (seq_cst keeps the in_use/v reads in the same
+    // total order as the ticket's sentinel-then-clock protocol)
     if (!s->in_use.load(std::memory_order_seq_cst)) continue;
-    const std::uint64_t v = s->v.load(std::memory_order_seq_cst);
+    const std::uint64_t v =
+        s->v.load(std::memory_order_seq_cst);  // pairs: version-pin
     if (v < m) m = v;
   }
   return m;

@@ -50,6 +50,9 @@ using TscClock = SteadyClock;
 class AtomicCounterClock {
  public:
   std::uint64_t read() const {
+    // relaxed: only the RMW's atomicity matters — each caller needs a unique,
+    // globally ordered value, and fetch_add's single modification order
+    // provides that without fencing anything else.
     return counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 

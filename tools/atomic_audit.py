@@ -1,0 +1,527 @@
+#!/usr/bin/env python3
+"""Atomics memory-order audit (DESIGN.md §10).
+
+Enforces the repo's memory-model conventions over every atomic operation in
+the scanned sources:
+
+  * no implicit-order access: every load/store/exchange/CAS/fetch_* and every
+    fence names its std::memory_order explicitly (the seq_cst default is
+    banned — if seq_cst is required, say so);
+  * no operator-form access on std::atomic variables (++ / -- / = / +=),
+    which are seq_cst-by-default and invisible to this audit's order check;
+  * every site whose strongest effect is memory_order_relaxed carries a
+    `// relaxed: <why>` justification;
+  * every site with release semantics (release / acq_rel / seq_cst store or
+    RMW) and every site with acquire semantics (acquire / consume / acq_rel /
+    seq_cst load or RMW) carries a `// pairs: <tag>` comment naming the
+    publication edge it participates in;
+  * every `pairs:` tag is declared in the machine-readable catalog
+    (tools/memory_model.json, mirrored in DESIGN.md §10); a catalog tag with
+    release sites but no acquire observer is an orphan release, one with
+    acquire sites but no releaser is an unpaired acquire, and a catalog entry
+    with no sites at all is stale.
+
+Comment attachment rule (keep in sync with DESIGN.md §10): a `pairs:` or
+`relaxed:` comment binds to an operation if it appears as a trailing comment
+on any line of the operation's call span (from the line naming the operation
+through the line of its closing parenthesis), or in the block of consecutive
+comment-only lines immediately above the statement containing the operation.
+
+Modes:
+  default     self-contained text scan; needs only Python 3.
+  --compdb B  additionally cross-checks the text scan against a clang AST
+              dump (`clang++ -Xclang -ast-dump=json`) of one translation unit
+              from B/compile_commands.json: any atomic member operation the
+              AST sees that the text scan missed is a finding. Requires a
+              clang++ (honours $JIFFY_CLANGXX); exits 2 if none is found.
+
+Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+
+Usage:
+  tools/atomic_audit.py                      # audit src/ + bench/harness.h
+  tools/atomic_audit.py src bench/harness.h  # explicit roots
+  tools/atomic_audit.py --compdb build       # + AST cross-check
+  tools/atomic_audit.py --catalog F --no-coverage fixtures/  # fixture runs
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_ROOTS = ["src", os.path.join("bench", "harness.h")]
+DEFAULT_CATALOG = os.path.join(REPO_ROOT, "tools", "memory_model.json")
+SOURCE_EXTS = (".h", ".hpp", ".cpp", ".cc")
+
+# Member operations of std::atomic<T> the audit recognises. wait/notify and
+# atomic_flag's test* family are not used in this repo; extend if they appear.
+READ_OPS = {"load"}
+WRITE_OPS = {"store"}
+RMW_OPS = {
+    "exchange",
+    "compare_exchange_strong",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+}
+ALL_OPS = READ_OPS | WRITE_OPS | RMW_OPS
+
+OP_RE = re.compile(r"(?:\.|->)(" + "|".join(sorted(ALL_OPS)) + r")\s*\(")
+FENCE_RE = re.compile(r"\batomic_(?:thread|signal)_fence\s*\(")
+ORDER_RE = re.compile(r"memory_order(?:::|_)([a-z_]+)")
+PAIRS_RE = re.compile(r"pairs:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+RELAXED_NOTE_RE = re.compile(r"relaxed:")
+ATOMIC_DECL_RE = re.compile(r"\batomic\s*<[^;<]*?>\s+(\w+)\s*[\[{;=(]")
+
+ACQUIRE_ORDERS = {"acquire", "consume", "acq_rel", "seq_cst"}
+RELEASE_ORDERS = {"release", "acq_rel", "seq_cst"}
+
+
+class Finding:
+    def __init__(self, path, line, kind, message):
+        self.path = path
+        self.line = line
+        self.kind = kind
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.kind}] {self.message}"
+
+
+class Site:
+    """One atomic operation: location, kind, orders, attached comments."""
+
+    def __init__(self, path, line, op, recv, orders, comments):
+        self.path = path
+        self.line = line
+        self.op = op
+        self.recv = recv
+        self.orders = orders
+        self.comments = comments  # list of comment strings
+        self.tags = []
+        for c in comments:
+            m = PAIRS_RE.search(c)
+            if m:
+                self.tags.extend(t.strip() for t in m.group(1).split(","))
+        self.justified_relaxed = any(RELAXED_NOTE_RE.search(c) for c in comments)
+
+    @property
+    def kind(self):
+        if self.op in READ_OPS:
+            return "read"
+        if self.op in WRITE_OPS:
+            return "write"
+        if self.op == "fence":
+            return "fence"
+        return "rmw"
+
+    @property
+    def acquire_side(self):
+        return self.kind in ("read", "rmw", "fence") and bool(
+            self.orders & ACQUIRE_ORDERS)
+
+    @property
+    def release_side(self):
+        return self.kind in ("write", "rmw", "fence") and bool(
+            self.orders & RELEASE_ORDERS)
+
+    @property
+    def relaxed_only(self):
+        return self.orders == {"relaxed"}
+
+
+def strip_comments_line(line):
+    """Remove a trailing // comment, ignoring // inside string literals."""
+    out = []
+    in_str = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                out.append(line[i:i + 2])
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+            out.append(ch)
+        else:
+            if ch in "\"'":
+                in_str = ch
+                out.append(ch)
+            elif ch == "/" and line[i:i + 2] == "//":
+                break
+            else:
+                out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def line_comment(line):
+    code = strip_comments_line(line)
+    rest = line[len(code):]
+    return rest.strip() if rest.strip().startswith("//") else ""
+
+
+def is_comment_only(line):
+    s = line.strip()
+    return s.startswith("//")
+
+
+def statement_start(code_lines, idx):
+    """Walk up from line idx to the first line of the enclosing statement."""
+    while idx > 0:
+        prev = code_lines[idx - 1].rstrip()
+        if not prev.strip():
+            break
+        if is_comment_only(prev):
+            break
+        if prev.endswith((";", "{", "}", ":", ")")) and not prev.endswith("::"):
+            # `)` ends for(...)/if(...) headers; treat as a boundary too.
+            break
+        idx -= 1
+    return idx
+
+
+def attached_comments(raw_lines, code_lines, start_idx, end_idx):
+    comments = []
+    for i in range(start_idx, min(end_idx + 1, len(raw_lines))):
+        c = line_comment(raw_lines[i])
+        if c:
+            comments.append(c)
+    stmt = statement_start(code_lines, start_idx)
+    j = stmt - 1
+    block = []
+    while j >= 0 and is_comment_only(raw_lines[j]):
+        block.append(raw_lines[j].strip())
+        j -= 1
+    comments.extend(reversed(block))
+    return comments
+
+
+def span_end(code_lines, line_idx, col):
+    """Index of the line holding the matching ')' for the '(' at (line, col)."""
+    depth = 0
+    i, j = line_idx, col
+    while i < len(code_lines):
+        line = code_lines[i]
+        while j < len(line):
+            ch = line[j]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+            j += 1
+        i += 1
+        j = 0
+    return line_idx
+
+
+def scan_file(path):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+    code_lines = [strip_comments_line(l) for l in raw_lines]
+
+    sites = []
+    findings = []
+
+    for idx, code in enumerate(code_lines):
+        for m in list(OP_RE.finditer(code)) + list(FENCE_RE.finditer(code)):
+            if m.re is OP_RE:
+                op = m.group(1)
+                recv = code[:m.start()].strip().split()[-1] if code[:m.start()].strip() else "?"
+                recv = re.split(r"[^\w.\->\[\]_]", recv)[-1] or "?"
+            else:
+                op = "fence"
+                recv = "fence"
+            open_col = code.index("(", m.end() - 1)
+            end_idx = span_end(code_lines, idx, open_col)
+            span_text = "\n".join(code_lines[idx:end_idx + 1])
+            orders = set(ORDER_RE.findall(span_text))
+            comments = attached_comments(raw_lines, code_lines, idx, end_idx)
+            sites.append(Site(path, idx + 1, op, recv, orders, comments))
+
+    # Operator-form access on std::atomic variables declared in this file.
+    atomic_names = set()
+    for code in code_lines:
+        for m in ATOMIC_DECL_RE.finditer(code):
+            atomic_names.add(m.group(1))
+    def is_declaration_init(code, match_start):
+        # `T name = init` / `T* name = init` / `, name = default` declare a
+        # plain variable that merely shares the atomic's name; only flag
+        # assignments whose target can actually be the atomic itself.
+        prefix = code[:match_start].rstrip()
+        return bool(prefix) and (prefix[-1].isalnum()
+                                 or prefix[-1] in "_>*&,")
+
+    for idx, code in enumerate(code_lines):
+        for name in atomic_names:
+            if "atomic" in code and ATOMIC_DECL_RE.search(code):
+                continue  # declaration (brace-init) line
+            hit = False
+            for pat in (
+                    rf"(?<![\w.>]){re.escape(name)}\s*(\+\+|--)",
+                    rf"(\+\+|--)\s*{re.escape(name)}\b",
+                    rf"(?<![\w.>]){re.escape(name)}\s*(\+=|-=|\|=|&=|\^=)",
+            ):
+                if re.search(pat, code):
+                    hit = True
+                    break
+            if not hit:
+                m = re.search(
+                    rf"(?<![\w.>]){re.escape(name)}\s*(?<![<>=!+\-*/&|^])=(?![=])",
+                    code)
+                hit = bool(m) and not is_declaration_init(code, m.start())
+            if hit:
+                findings.append(Finding(
+                    path, idx + 1, "operator-form",
+                    f"operator access on std::atomic '{name}' "
+                    f"(implicit seq_cst); use explicit "
+                    f".load/.store/.fetch_* with a named order"))
+    return sites, findings
+
+
+def audit_sites(sites, catalog, check_coverage, catalog_path):
+    findings = []
+    tag_release = {}
+    tag_acquire = {}
+
+    for s in sites:
+        where = f"{s.recv}.{s.op}" if s.op != "fence" else "fence"
+        if not s.orders:
+            findings.append(Finding(
+                s.path, s.line, "implicit-order",
+                f"{where} does not name a std::memory_order "
+                f"(seq_cst default is banned; spell it out)"))
+            continue
+        if s.kind == "write" and s.orders & {"acquire", "acq_rel", "consume"}:
+            findings.append(Finding(
+                s.path, s.line, "invalid-order",
+                f"{where}: store with an acquire-class order is undefined"))
+        if s.kind == "read" and s.orders & {"release", "acq_rel"}:
+            findings.append(Finding(
+                s.path, s.line, "invalid-order",
+                f"{where}: load with a release-class order is undefined"))
+        if s.relaxed_only:
+            if not s.justified_relaxed:
+                findings.append(Finding(
+                    s.path, s.line, "unjustified-relaxed",
+                    f"{where} is memory_order_relaxed without a "
+                    f"'// relaxed: <why>' justification"))
+            continue
+        if s.acquire_side or s.release_side:
+            if not s.tags:
+                findings.append(Finding(
+                    s.path, s.line, "missing-pairs",
+                    f"{where} ({'/'.join(sorted(s.orders))}) has no "
+                    f"'// pairs: <tag>' naming its publication edge"))
+            for t in s.tags:
+                if t not in catalog:
+                    findings.append(Finding(
+                        s.path, s.line, "unknown-tag",
+                        f"pairs tag '{t}' is not in the catalog "
+                        f"(tools/memory_model.json)"))
+                    continue
+                if s.release_side:
+                    tag_release.setdefault(t, []).append(s)
+                if s.acquire_side:
+                    tag_acquire.setdefault(t, []).append(s)
+
+    if check_coverage:
+        for t in sorted(catalog):
+            rel = tag_release.get(t, [])
+            acq = tag_acquire.get(t, [])
+            if rel and not acq:
+                s = rel[0]
+                findings.append(Finding(
+                    s.path, s.line, "orphan-release",
+                    f"tag '{t}' has release sites but no acquire observer "
+                    f"in the scanned sources"))
+            elif acq and not rel:
+                s = acq[0]
+                findings.append(Finding(
+                    s.path, s.line, "unpaired-acquire",
+                    f"tag '{t}' has acquire sites but no release publisher "
+                    f"in the scanned sources"))
+            elif not rel and not acq:
+                findings.append(Finding(
+                    catalog_path, 1, "stale-catalog",
+                    f"catalog tag '{t}' has no sites in the scanned sources"))
+    return findings
+
+
+def collect_files(roots):
+    files = []
+    for r in roots:
+        p = r if os.path.isabs(r) else os.path.join(REPO_ROOT, r)
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for dirpath, _dirs, names in os.walk(p):
+                for n in sorted(names):
+                    if n.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(dirpath, n))
+        else:
+            print(f"atomic_audit: no such path: {r}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+# ---------------------------------------------------------------- AST mode --
+
+
+def find_clangxx():
+    for cand in (os.environ.get("JIFFY_CLANGXX"), "clang++", "clang"):
+        if cand and shutil.which(cand):
+            return shutil.which(cand)
+    return None
+
+
+def ast_sites(compdb_dir, tu_substring, audited_files):
+    """(file, line) pairs for atomic member ops clang sees in one TU."""
+    clangxx = find_clangxx()
+    if clangxx is None:
+        print("atomic_audit: --compdb needs clang++ (set $JIFFY_CLANGXX)",
+              file=sys.stderr)
+        sys.exit(2)
+    compdb_path = os.path.join(compdb_dir, "compile_commands.json")
+    if not os.path.isfile(compdb_path):
+        print(f"atomic_audit: {compdb_path} not found "
+              f"(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(compdb_path, encoding="utf-8") as f:
+        compdb = json.load(f)
+    entry = None
+    for e in compdb:
+        if tu_substring in e["file"]:
+            entry = e
+            break
+    if entry is None:
+        print(f"atomic_audit: no TU matching '{tu_substring}' in compdb",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if "arguments" in entry:
+        args = list(entry["arguments"])[1:]
+    else:
+        args = entry["command"].split()[1:]
+    # Drop -o/-c and any GCC-only flags clang chokes on; add the dump flags.
+    cleaned = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        if a in ("-c", "-fconcepts-diagnostics-depth=2"):
+            continue
+        cleaned.append(a)
+    cmd = [clangxx] + cleaned + [
+        "-fsyntax-only", "-Wno-everything", "-Xclang", "-ast-dump=json"]
+    proc = subprocess.run(cmd, cwd=entry.get("directory", compdb_dir),
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"atomic_audit: clang AST dump failed:\n{proc.stderr[-2000:]}",
+              file=sys.stderr)
+        sys.exit(2)
+    tree = json.loads(proc.stdout)
+
+    audited = {os.path.realpath(p) for p in audited_files}
+    out = set()
+    # clang only emits file/line when they change; carry them while walking.
+    def walk(node, cur):
+        if not isinstance(node, dict):
+            return
+        loc = node.get("loc") or {}
+        for key in ("file", "line"):
+            src = loc.get(key)
+            if src is None and "expansionLoc" in loc:
+                src = loc["expansionLoc"].get(key)
+            if src is not None:
+                cur = {**cur, key: src}
+        if (node.get("kind") == "MemberExpr"
+                and node.get("name") in ALL_OPS
+                and cur.get("file")
+                and os.path.realpath(cur["file"]) in audited):
+            out.add((os.path.realpath(cur["file"]), cur.get("line")))
+        for child in node.get("inner", []) or []:
+            walk(child, cur)
+
+    walk(tree, {})
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="*", default=None,
+                    help="files/dirs to audit (default: src bench/harness.h)")
+    ap.add_argument("--catalog", default=DEFAULT_CATALOG,
+                    help="pairs-tag catalog JSON (default: tools/memory_model.json)")
+    ap.add_argument("--no-coverage", action="store_true",
+                    help="skip per-tag release/acquire coverage checks "
+                         "(for partial scans)")
+    ap.add_argument("--compdb", metavar="BUILD_DIR",
+                    help="cross-check against a clang AST dump of one TU from "
+                         "BUILD_DIR/compile_commands.json")
+    ap.add_argument("--ast-tu", default="tests/",
+                    help="substring selecting the TU for --compdb "
+                         "(default: tests/)")
+    ap.add_argument("--list-sites", action="store_true",
+                    help="print every recognised atomic site and exit")
+    args = ap.parse_args()
+
+    with open(args.catalog, encoding="utf-8") as f:
+        catalog = json.load(f)["pairs"]
+
+    files = collect_files(args.roots or DEFAULT_ROOTS)
+    sites = []
+    findings = []
+    for p in files:
+        s, f = scan_file(p)
+        sites.extend(s)
+        findings.extend(f)
+
+    if args.list_sites:
+        for s in sites:
+            rel = os.path.relpath(s.path, REPO_ROOT)
+            print(f"{rel}:{s.line}: {s.recv}.{s.op} "
+                  f"[{','.join(sorted(s.orders)) or 'IMPLICIT'}] "
+                  f"tags={','.join(s.tags) or '-'}")
+        return 0
+
+    findings.extend(
+        audit_sites(sites, catalog, not args.no_coverage, args.catalog))
+
+    if args.compdb:
+        text_locs = {(os.path.realpath(s.path), s.line) for s in sites}
+        for file, line in sorted(ast_sites(args.compdb, args.ast_tu, files)):
+            if (file, line) not in text_locs:
+                findings.append(Finding(
+                    file, line or 0, "ast-missed",
+                    "clang AST sees an atomic member operation here that the "
+                    "text scan did not recognise"))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.kind))
+    for f in findings:
+        print(f)
+    n_files = len(files)
+    print(f"atomic_audit: {len(sites)} sites in {n_files} files, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+// Thread-safety fixture: the corrected twin of unguarded_fixture.cpp.
+// MUST compile cleanly under clang++ -Wthread-safety -Werror=thread-safety:
+// the RAII Guard is established with assert_held() before the guarded entry
+// point is reached (the repo-wide convention, see src/common/analysis.h).
+// check_thread_safety.py asserts this. Never built by CMake.
+#include "common/analysis.h"
+#include "ebr/ebr.h"
+
+namespace {
+
+struct Probe {
+  int hits = 0;
+  void touch_node([[maybe_unused]] const jiffy::ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
+    ++hits;
+  }
+};
+
+}  // namespace
+
+int main() {
+  jiffy::ebr::Guard g;
+  g.assert_held();
+  Probe p;
+  p.touch_node(g);
+  return p.hits;
+}

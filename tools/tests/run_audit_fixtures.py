@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Self-test for tools/atomic_audit.py.
+
+Runs the audit over tools/tests/fixtures/ with the fixture catalog and
+asserts the EXACT findings: each seeded violation in violations.h is
+reported with the right kind, the deliberately stale catalog entry fires,
+and a second run over clean.h alone reports nothing. Wired into ctest as a
+quick-label target (see tests/CMakeLists.txt).
+
+Exit codes: 0 pass, 1 fail.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+AUDIT = os.path.join(REPO, "tools", "atomic_audit.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+CATALOG = os.path.join(HERE, "fixtures_model.json")
+
+EXPECTED = sorted([
+    ("violations.h", "implicit-order"),
+    ("violations.h", "unjustified-relaxed"),
+    ("violations.h", "missing-pairs"),
+    ("violations.h", "unknown-tag"),
+    ("violations.h", "orphan-release"),
+    ("violations.h", "unpaired-acquire"),
+    ("violations.h", "operator-form"),
+    ("fixtures_model.json", "stale-catalog"),
+])
+
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\]")
+
+
+def run_audit(*extra):
+    return subprocess.run(
+        [sys.executable, AUDIT, "--catalog", CATALOG, *extra],
+        capture_output=True, text=True)
+
+
+def parse(stdout):
+    out = []
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            out.append((os.path.basename(m.group(1)), m.group(3)))
+    return sorted(out)
+
+
+def main():
+    ok = True
+
+    proc = run_audit(FIXTURES)
+    got = parse(proc.stdout)
+    if proc.returncode != 1:
+        print(f"FAIL: fixtures run exited {proc.returncode}, want 1")
+        print(proc.stdout, proc.stderr)
+        ok = False
+    if got != EXPECTED:
+        print("FAIL: finding mismatch")
+        for f in sorted(set(EXPECTED) - set(got)):
+            print(f"  missing:    {f}")
+        for f in sorted(set(got) - set(EXPECTED)):
+            print(f"  unexpected: {f}")
+        print("--- audit output ---")
+        print(proc.stdout)
+        ok = False
+
+    clean = run_audit(os.path.join(FIXTURES, "clean.h"), "--no-coverage")
+    if clean.returncode != 0 or parse(clean.stdout):
+        print(f"FAIL: clean fixture run exited {clean.returncode} with "
+              f"findings:\n{clean.stdout}")
+        ok = False
+
+    if ok:
+        print(f"PASS: {len(EXPECTED)} expected findings, clean fixture clean")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

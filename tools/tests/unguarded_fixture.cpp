@@ -1,0 +1,28 @@
+// Thread-safety fixture: MUST FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// It reaches a JIFFY_REQUIRES_GUARD entry point with a Guard that was
+// constructed but never established via assert_held(), exactly the mistake
+// the capability annotations exist to reject. check_thread_safety.py
+// asserts the rejection (and that guarded_fixture.cpp, its corrected twin,
+// compiles). Never built by CMake.
+#include "common/analysis.h"
+#include "ebr/ebr.h"
+
+namespace {
+
+struct Probe {
+  int hits = 0;
+  void touch_node([[maybe_unused]] const jiffy::ebr::Guard& g)
+      JIFFY_REQUIRES_GUARD(g) {
+    ++hits;
+  }
+};
+
+}  // namespace
+
+int main() {
+  jiffy::ebr::Guard g;
+  Probe p;
+  p.touch_node(g);  // error: calling requires holding 'g'
+  return p.hits;
+}
