@@ -64,7 +64,7 @@ class CslmMap {
         V* vp = new V(v);
         V* old =
             node->val.exchange(vp, std::memory_order_acq_rel);  // pairs: val-publish
-        ebr::retire(old);
+        ebr::retire(old);  // unlink: cslm-val-swap
         if (marked(
                 node->next[0].load(std::memory_order_seq_cst))) {  // pairs: cslm-next
           // The node was logically removed; our value may never be seen.
@@ -135,7 +135,7 @@ class CslmMap {
         // A completed find() pass snips the node at every level it still
         // occupied; only then is it safe to hand to the collector.
         find(k, preds, succs, g);
-        ebr::retire(node);
+        ebr::retire(node);  // unlink: cslm-unlink
         return true;
       }
     }

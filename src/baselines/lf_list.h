@@ -79,6 +79,7 @@ class LfList {
         // In-place update; if the node got marked, our value may never be
         // observed, so reinsert to linearize the put after the delete.
         V* vp = new V(v);
+        // unlink: lfl-val-swap
         ebr::retire(
             prev->val.exchange(vp, std::memory_order_acq_rel));  // pairs: val-publish
         if (marked(prev->succ.load(std::memory_order_seq_cst)))  // pairs: lfl-succ
@@ -122,7 +123,7 @@ class LfList {
     size_.fetch_sub(1, std::memory_order_relaxed);
     // help_flagged completed the unlink (the flagged word admits exactly one
     // transition), so the shell is unreachable from live predecessors.
-    ebr::retire(del);
+    ebr::retire(del);  // unlink: lfl-unlink
     return true;
   }
 

@@ -264,7 +264,7 @@ struct Revision {
       if (immediate)
         delete r;
       else
-        ebr::retire(r);
+        ebr::retire(r);  // unlink: rev-unref
     }
   }
 };
@@ -1399,8 +1399,12 @@ class JiffyMap {
     for (const auto& [x, dv] : cand) {
       if (dv >= wm) continue;
       if (!x->condemned.exchange(true,
-                                 std::memory_order_seq_cst))  // pairs: condemn-flag
+                                 std::memory_order_seq_cst)) {  // pairs: condemn-flag
+        // escapes: the condemn winner owns the shell — the sticky flag stops
+        // re-publication, the purging_ gate makes the list single-writer, and
+        // purge_retire_pending frees it only after a clean post-drain sweep.
         purge_pending_.push_back(x);
+      }
     }
   }
 
@@ -1462,7 +1466,7 @@ class JiffyMap {
     const std::size_t n = purge_pending_.size();
     for (Node* x : purge_pending_) {
       sched::point(sched::Point::kPurgeRetire);
-      ebr::retire_fn(x, &delete_dead_node);
+      ebr::retire_fn(x, &delete_dead_node);  // unlink: purge-shell
     }
     purge_pending_.clear();
     // relaxed: lifetime statistic read by debug_stats only.

@@ -380,8 +380,17 @@ def collect_files(roots):
 # ---------------------------------------------------------------- AST mode --
 
 
+#: Versioned binary names distros ship without a bare `clang++` symlink
+#: (newest first, matching the CI pin range).
+CLANG_VERSIONS = range(19, 14, -1)
+
+
 def find_clangxx():
-    for cand in (os.environ.get("JIFFY_CLANGXX"), "clang++", "clang"):
+    candidates = [os.environ.get("JIFFY_CLANGXX"), "clang++"]
+    candidates += [f"clang++-{v}" for v in CLANG_VERSIONS]
+    candidates.append("clang")
+    candidates += [f"clang-{v}" for v in CLANG_VERSIONS]
+    for cand in candidates:
         if cand and shutil.which(cand):
             return shutil.which(cand)
     return None

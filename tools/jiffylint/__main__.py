@@ -1,0 +1,9 @@
+"""`python3 -m jiffylint` (with tools/ on sys.path) — same CLI as
+tools/lint.py, which is the documented entry point."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Clang AST cross-check for the jiffylint text passes.
+
+Mirrors atomic_audit.py's --compdb mode: dump one translation unit from
+compile_commands.json as JSON (`clang++ -Xclang -ast-dump=json`) and verify
+the text scan's site discovery against what the compiler actually parsed.
+The AST is treated as ground truth for *existence*; the protocol reasoning
+stays in the text passes (so the degraded text mode and the AST mode can
+never disagree about rules, only about coverage).
+
+Cross-checks (each a finding when the AST sees a site the text scan missed):
+
+  ast-missed-cas     compare_exchange_{weak,strong} MemberExprs
+  ast-missed-retire  DeclRefExprs to ebr::retire / retire_fn / retire_shell
+                     (src/ebr/ excluded, same as the retire pass)
+  ast-missed-guard   RequiresCapabilityAttr expansion sites
+                     (JIFFY_REQUIRES / JIFFY_REQUIRES_GUARD macro lines)
+
+Requires a clang++ ($JIFFY_CLANGXX honoured); exits 2 via SystemExit when
+none is found, matching atomic_audit.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from . import textscan, retire
+from .textscan import Finding, audit
+
+CAS_OPS = {"compare_exchange_weak", "compare_exchange_strong"}
+RETIRE_FNS = {"retire", "retire_fn", "retire_shell"}
+
+
+def dump_tu(compdb_dir, tu_substring):
+    """Parsed AST JSON of the first TU matching tu_substring."""
+    clangxx = audit.find_clangxx()
+    if clangxx is None:
+        print("jiffylint: --compdb needs clang++ (set $JIFFY_CLANGXX)",
+              file=sys.stderr)
+        sys.exit(2)
+    compdb_path = os.path.join(compdb_dir, "compile_commands.json")
+    if not os.path.isfile(compdb_path):
+        print(f"jiffylint: {compdb_path} not found "
+              f"(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(compdb_path, encoding="utf-8") as f:
+        compdb = json.load(f)
+    entry = next((e for e in compdb if tu_substring in e["file"]), None)
+    if entry is None:
+        print(f"jiffylint: no TU matching '{tu_substring}' in compdb",
+              file=sys.stderr)
+        sys.exit(2)
+    if "arguments" in entry:
+        args = list(entry["arguments"])[1:]
+    else:
+        args = entry["command"].split()[1:]
+    cleaned = []
+    skip = False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        if a in ("-c", "-fconcepts-diagnostics-depth=2"):
+            continue
+        cleaned.append(a)
+    cmd = [clangxx] + cleaned + [
+        "-fsyntax-only", "-Wno-everything", "-Xclang", "-ast-dump=json"]
+    proc = subprocess.run(cmd, cwd=entry.get("directory", compdb_dir),
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"jiffylint: clang AST dump failed:\n{proc.stderr[-2000:]}",
+              file=sys.stderr)
+        sys.exit(2)
+    return json.loads(proc.stdout)
+
+
+def collect_ast_sites(tree, audited):
+    """(cas, retire, guard) location sets clang sees in audited files."""
+    cas, ret, guard = set(), set(), set()
+
+    def norm_loc(loc, cur):
+        for key in ("file", "line"):
+            src = loc.get(key)
+            if src is None and "expansionLoc" in loc:
+                src = loc["expansionLoc"].get(key)
+            if src is not None:
+                cur = {**cur, key: src}
+        return cur
+
+    def walk(node, cur):
+        if not isinstance(node, dict):
+            return
+        cur = norm_loc(node.get("loc") or {}, cur)
+        if "range" in node and "loc" not in node:
+            cur = norm_loc((node["range"].get("begin") or {}), cur)
+        f = cur.get("file")
+        here = os.path.realpath(f) if f else None
+        if here in audited:
+            kind = node.get("kind")
+            if kind == "MemberExpr" and node.get("name") in CAS_OPS:
+                cas.add((here, cur.get("line")))
+            elif kind == "DeclRefExpr":
+                rd = node.get("referencedDecl") or {}
+                if rd.get("name") in RETIRE_FNS and \
+                        rd.get("kind") == "FunctionDecl":
+                    ret.add((here, cur.get("line")))
+            elif kind == "RequiresCapabilityAttr":
+                guard.add((here, cur.get("line")))
+        for child in node.get("inner", []) or []:
+            walk(child, cur)
+
+    walk(tree, {})
+    return cas, ret, guard
+
+
+def run(files, compdb_dir, tu_substring):
+    """Cross-check findings: AST sites the text passes did not discover."""
+    audited = {os.path.realpath(p) for p in files}
+    tree = dump_tu(compdb_dir, tu_substring)
+    ast_cas, ast_ret, ast_guard = collect_ast_sites(tree, audited)
+
+    text_cas, text_ret, text_guard = set(), set(), set()
+    for path in files:
+        real = os.path.realpath(path)
+        src = textscan.SourceFile(path)
+        sites, _f = audit.scan_file(path)
+        for s in sites:
+            if s.op in CAS_OPS:
+                text_cas.add((real, s.line))
+        if not retire.is_ebr_impl(path):
+            for idx, _tags, _send in retire.retire_sites(src):
+                text_ret.add((real, idx + 1))
+        _regions, macro_lines = textscan.find_guard_regions(src)
+        for ln in macro_lines:
+            text_guard.add((real, ln))
+
+    findings = []
+    checks = (
+        (ast_cas, text_cas, 0, "ast-missed-cas",
+         "clang sees a compare_exchange here that the text scan missed"),
+        ({loc for loc in ast_ret
+          if not retire.is_ebr_impl(loc[0])}, text_ret, 0,
+         "ast-missed-retire",
+         "clang sees an ebr::retire call here that the text scan missed"),
+        # Attr locations can land a line off the macro on wrapped
+        # signatures; this is an existence check, so allow a small window.
+        (ast_guard, text_guard, 2, "ast-missed-guard",
+         "clang sees a RequiresCapabilityAttr here that the text scan "
+         "missed"),
+    )
+    for ast_set, text_set, fuzz, kind, msg in checks:
+        for file, line in sorted(ast_set):
+            if line is not None and any(
+                    (file, line + d) in text_set
+                    for d in range(-fuzz, fuzz + 1)):
+                continue
+            findings.append(Finding(file, line or 0, kind, msg))
+    return findings

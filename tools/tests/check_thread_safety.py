@@ -33,8 +33,13 @@ FLAGS = [
 
 
 def find_clangxx():
-    for cand in (os.environ.get("JIFFY_CLANGXX"), os.environ.get("CXX"),
-                 "clang++"):
+    # Probe versioned binaries too (clang++-19 ... clang++-15): distros often
+    # ship those without a bare `clang++` symlink, and skipping (exit 77) when
+    # one is installed would silently drop the TSA gate.
+    versioned = [f"clang++-{v}" for v in range(19, 14, -1)]
+    versioned += [f"clang-{v}" for v in range(19, 14, -1)]
+    for cand in [os.environ.get("JIFFY_CLANGXX"), os.environ.get("CXX"),
+                 "clang++", *versioned]:
         if not cand:
             continue
         path = shutil.which(cand)

@@ -1,0 +1,74 @@
+// Seeded CAS-hygiene violations for tools/jiffylint pass 3.
+// Expected: weak-outside-loop, strong-tight-loop, stale-expected,
+// invalid-failure-order, failure-stronger-than-success, 2x cas-tag-order.
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Node {
+  Node* next;
+};
+
+struct CasBad {
+  std::atomic<int> v_{0};
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<Node*> slot_{nullptr};
+
+  bool once(int want) {
+    int e = 0;
+    // weak may fail spuriously: outside a loop the update is just lost.
+    return v_.compare_exchange_weak(e, want, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+
+  void spin(int want) {
+    int e = 0;
+    while (!v_.compare_exchange_strong(e, want, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {}
+  }
+
+  void stale(int want) {
+    int e = v_.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((want & 1) == 0) continue;  // re-reaches the CAS with the old e
+      if (v_.compare_exchange_weak(e, want, std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  void badfail(int want) {
+    int e = 0;
+    while (!v_.compare_exchange_weak(e, want, std::memory_order_acq_rel,
+                                     std::memory_order_release)) {
+      e = 0;
+    }
+  }
+
+  void sloppy(int want) {
+    int e = 0;
+    while (!v_.compare_exchange_weak(e, want, std::memory_order_relaxed,
+                                     std::memory_order_acquire)) {
+      e = 0;
+    }
+  }
+
+  bool install(Node* n) {
+    Node* e = nullptr;
+    // catalog says CAS is a release side of fx-good; acquire can't publish.
+    return head_.compare_exchange_strong(
+        e, n, std::memory_order_acquire,
+        std::memory_order_relaxed);  // pairs: fx-good
+  }
+
+  bool adopt(Node* n) {
+    Node* e = nullptr;
+    // catalog says CAS is an acquire side of fx-acqonly; relaxed can't see.
+    return slot_.compare_exchange_strong(
+        e, n, std::memory_order_relaxed,
+        std::memory_order_relaxed);  // pairs: fx-acqonly
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,56 @@
+// Clean twin of cas_bad.h: the canonical shapes the hygiene pass must NOT
+// flag — push loop with writeback reload, continue-with-reload, one-shot
+// strong, and correctly-ordered tagged CASes. Expected: 0.
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Node {
+  Node* next_plain;
+};
+
+struct CasClean {
+  std::atomic<int> v_{0};
+  std::atomic<bool> flag_{false};
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<Node*> slot_{nullptr};
+
+  // Canonical push: the failed CAS writes the fresh head back into h.
+  void push(Node* n) {
+    Node* h = head_.load(std::memory_order_relaxed);
+    do {
+      n->next_plain = h;
+    } while (!head_.compare_exchange_weak(
+        h, n, std::memory_order_release,
+        std::memory_order_relaxed));  // pairs: fx-good
+  }
+
+  // A continue path is fine when expected is reloaded at the top.
+  void retry(int want) {
+    for (;;) {
+      int e = v_.load(std::memory_order_relaxed);
+      if (e == want) continue;
+      if (v_.compare_exchange_weak(e, want, std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  // One-shot strong CAS: spurious failure is impossible, no loop needed.
+  bool claim() {
+    bool e = false;
+    return flag_.compare_exchange_strong(e, true, std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // Acquire-side CAS of fx-acqonly with an acquire-capable success order.
+  bool adopt(Node* n) {
+    Node* e = nullptr;
+    return slot_.compare_exchange_strong(
+        e, n, std::memory_order_acquire,
+        std::memory_order_relaxed);  // pairs: fx-acqonly
+  }
+};
+
+}  // namespace fx

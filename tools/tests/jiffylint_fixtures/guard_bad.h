@@ -1,0 +1,28 @@
+// Seeded guard-escape violations for tools/jiffylint pass 1 (never built;
+// text-scanned only). Expected: 3x guard-escape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+struct Node {
+  Node* next(std::uint64_t k);
+};
+
+struct GuardBad {
+  Node* last_ = nullptr;
+  std::vector<Node*> hot_;
+  Node* head_ = nullptr;
+
+  Node* lookup(std::uint64_t k) {
+    ebr::Guard g;
+    Node* n = head_->next(k);
+    last_ = n;          // guard-escape: member store outlives g
+    hot_.push_back(n);  // guard-escape: member container outlives g
+    return n;           // guard-escape: returned past the local guard
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Seeded publication-graph site violation for tools/jiffylint pass 4 (the
+// catalog-side violations live in model_bad.json). Expected here:
+// direction-mismatch — fx-storeload declares 'store -> load', but this CAS
+// plays both sides.
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Node {
+  Node* next;
+};
+
+struct PubBad {
+  std::atomic<Node*> cur_{nullptr};
+
+  bool swing(Node* n) {
+    Node* e = cur_.load(std::memory_order_acquire);  // pairs: fx-storeload
+    return cur_.compare_exchange_strong(
+        e, n, std::memory_order_acq_rel,
+        std::memory_order_acquire);  // pairs: fx-storeload
+  }
+};
+
+}  // namespace fx

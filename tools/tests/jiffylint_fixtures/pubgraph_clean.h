@@ -1,0 +1,32 @@
+// Clean twin of pubgraph_bad.h against model_clean.json: a connected,
+// acyclic two-edge object whose acquire sides only read published fields,
+// with every site playing a declared role. Expected: 0.
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Obj {
+  int a;
+  int b;
+};
+
+struct PubClean {
+  std::atomic<Obj*> head_{nullptr};
+  std::atomic<int> seq_{0};
+
+  void publish(Obj* o) {
+    head_.store(o, std::memory_order_release);  // pairs: fx-good
+    seq_.store(1, std::memory_order_release);   // pairs: fx-follow
+  }
+
+  int read() {
+    Obj* o = head_.load(std::memory_order_acquire);  // pairs: fx-good
+    if (o && seq_.load(std::memory_order_acquire))   // pairs: fx-follow
+      return o->a + o->b;
+    return 0;
+  }
+};
+
+}  // namespace fx

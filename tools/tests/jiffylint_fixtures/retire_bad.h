@@ -1,0 +1,36 @@
+// Seeded retire-after-unlink violations for tools/jiffylint pass 2.
+// Expected: unjustified-retire, unknown-unlink-tag, unlink-bad-ref,
+// unlink-missing-edge, plus stale-unlink against model_bad.json
+// (fx-unlink-stale is never used here).
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Node {
+  Node* next;
+};
+
+void free_node(void* p);
+
+struct RetireBad {
+  std::atomic<Node*> head_{nullptr};
+
+  bool install(Node* n) {
+    Node* e = head_.load(std::memory_order_relaxed);
+    return head_.compare_exchange_strong(
+        e, n, std::memory_order_release,
+        std::memory_order_relaxed);  // pairs: fx-good
+  }
+
+  void sites(Node* a, Node* b, Node* c, Node* d, Node* ok) {
+    ebr::retire(a);  // no justification at all
+    ebr::retire(b);  // unlink: fx-ghost
+    ebr::retire(c);  // unlink: fx-unlink-badref
+    ebr::retire(d);  // unlink: fx-unlink-noedge
+    ebr::retire_fn(ok, &free_node);  // unlink: fx-unlink-ok
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,35 @@
+// Clean twin of retire_bad.h: every retire names a catalog unlink tag whose
+// via edge has a release site in this file; both the comment and the macro
+// form of the grammar are exercised. Expected: 0.
+#pragma once
+
+#include <atomic>
+
+namespace fx {
+
+struct Node {
+  Node* next;
+};
+
+void free_node(void* p);
+
+struct RetireClean {
+  std::atomic<Node*> head_{nullptr};
+
+  bool install(Node* n) {
+    Node* e = head_.load(std::memory_order_relaxed);
+    return head_.compare_exchange_strong(
+        e, n, std::memory_order_release,
+        std::memory_order_relaxed);  // pairs: fx-good
+  }
+
+  void drop(Node* dead) {
+    ebr::retire(dead);  // unlink: fx-unlink-ok
+  }
+
+  void drop_fn(Node* dead) {
+    ebr::retire_fn(dead, &free_node);  JIFFY_LINT_UNLINK(fx-unlink-ok);
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Self-test for the tools/jiffylint protocol passes (via tools/lint.py).
+
+For each pass, runs the driver over a seeded-violation fixture with the
+violations catalog and asserts the EXACT (file, kind) finding set, then
+over the clean twin with the clean catalog and asserts zero findings and
+exit 0. Wired into ctest as a quick-label target (see tests/CMakeLists.txt).
+
+Exit codes: 0 pass, 1 fail.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "lint.py")
+FIXTURES = os.path.join(HERE, "jiffylint_fixtures")
+MODEL_BAD = os.path.join(FIXTURES, "model_bad.json")
+MODEL_CLEAN = os.path.join(FIXTURES, "model_clean.json")
+
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\]")
+
+# pass -> (bad fixture, expected (basename, kind) list, clean twin)
+CASES = {
+    "guard": (
+        "guard_bad.h",
+        [
+            ("guard_bad.h", "guard-escape"),
+            ("guard_bad.h", "guard-escape"),
+            ("guard_bad.h", "guard-escape"),
+        ],
+        "guard_clean.h",
+    ),
+    "retire": (
+        "retire_bad.h",
+        [
+            ("retire_bad.h", "unjustified-retire"),
+            ("retire_bad.h", "unknown-unlink-tag"),
+            ("retire_bad.h", "unlink-bad-ref"),
+            ("retire_bad.h", "unlink-missing-edge"),
+            ("model_bad.json", "stale-unlink"),
+        ],
+        "retire_clean.h",
+    ),
+    "cas": (
+        "cas_bad.h",
+        [
+            ("cas_bad.h", "weak-outside-loop"),
+            ("cas_bad.h", "strong-tight-loop"),
+            ("cas_bad.h", "stale-expected"),
+            ("cas_bad.h", "invalid-failure-order"),
+            ("cas_bad.h", "failure-stronger-than-success"),
+            ("cas_bad.h", "cas-tag-order"),
+            ("cas_bad.h", "cas-tag-order"),
+        ],
+        "cas_clean.h",
+    ),
+    "pubgraph": (
+        "pubgraph_bad.h",
+        [
+            ("model_bad.json", "schema-missing"),
+            ("model_bad.json", "schema-missing"),
+            ("model_bad.json", "unknown-after"),
+            ("model_bad.json", "pub-cycle"),
+            ("model_bad.json", "unpublished-field"),
+            ("model_bad.json", "disconnected-object"),
+            ("pubgraph_bad.h", "direction-mismatch"),
+        ],
+        "pubgraph_clean.h",
+    ),
+}
+
+
+def run_lint(passes, catalog, fixture):
+    return subprocess.run(
+        [sys.executable, LINT, "--no-audit", "--passes", passes,
+         "--catalog", catalog, os.path.join(FIXTURES, fixture)],
+        capture_output=True, text=True)
+
+
+def parse(stdout):
+    out = []
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            out.append((os.path.basename(m.group(1)), m.group(3)))
+    return sorted(out)
+
+
+def main():
+    ok = True
+    for name, (bad, expected, clean) in CASES.items():
+        expected = sorted(expected)
+
+        proc = run_lint(name, MODEL_BAD, bad)
+        got = parse(proc.stdout)
+        if proc.returncode != 1:
+            print(f"FAIL [{name}]: {bad} run exited {proc.returncode}, "
+                  f"want 1")
+            print(proc.stdout, proc.stderr)
+            ok = False
+        if got != expected:
+            print(f"FAIL [{name}]: finding mismatch on {bad}")
+            for f in sorted(set(expected) - set(got)):
+                print(f"  missing:    {f}")
+            for f in sorted(set(got) - set(expected)):
+                print(f"  unexpected: {f}")
+            print("--- lint output ---")
+            print(proc.stdout)
+            ok = False
+
+        cproc = run_lint(name, MODEL_CLEAN, clean)
+        if cproc.returncode != 0 or parse(cproc.stdout):
+            print(f"FAIL [{name}]: clean twin {clean} exited "
+                  f"{cproc.returncode} with findings:\n{cproc.stdout}"
+                  f"{cproc.stderr}")
+            ok = False
+
+    if ok:
+        total = sum(len(e) for _b, e, _c in CASES.values())
+        print(f"PASS: {total} expected findings across {len(CASES)} passes, "
+              f"clean twins clean")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
