@@ -1,0 +1,51 @@
+// Software prefetch hints for cache-conscious traversal ("Skiplists with
+// Foresight", PAPERS.md; DESIGN.md §14).
+//
+// A skip-list descent is a pointer chase: every hop is a dependent cacheline
+// miss the out-of-order window cannot hide. The traversal paths in
+// core/jiffy.h issue explicit read prefetches one step ahead — the next
+// tower slot, the next fat node, the revision's inline entry array, the
+// binary search's two possible next midpoints — so the miss for step k+1
+// overlaps the compare at step k. Hints only: a wrong prefetch costs a few
+// cycles of bus traffic, never correctness, so prefetch addresses may be
+// read with relaxed loads and may even be stale by the time the line
+// arrives.
+#pragma once
+
+namespace jiffy {
+
+// Read prefetch with high temporal locality. No-op where the builtin is
+// unavailable; never reads *p, so any pointer (including one whose target a
+// concurrent writer is still initialising under EBR) is safe to pass.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// Write-intent prefetch: pulls the line in exclusive state so the coming
+// store skips the read-for-ownership round trip. For memory this thread owns
+// outright (recycled allocation blocks), never for shared engine state.
+inline void prefetch_w(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// Prefetch the first `bytes` of a block this thread is about to write
+// (capped well under any sane allocation: one hint per cacheline).
+inline void prefetch_w_block(const void* p, unsigned bytes) {
+#if defined(__GNUC__) || defined(__clang__)
+  const auto* c = static_cast<const char*>(p);
+  for (unsigned off = 0; off < bytes; off += 64) prefetch_w(c + off);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace jiffy

@@ -58,10 +58,14 @@
 #include <new>
 #include <optional>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/block_cache.h"
 #include "common/analysis.h"
+#include "common/prefetch.h"
+#include "common/striped_counter.h"
 #include "core/schedule_points.h"
 #include "ebr/ebr.h"
 #include "tsc/clock.h"
@@ -71,6 +75,32 @@
 namespace jiffy {
 
 inline constexpr std::uint64_t kPendingVersion = ~0ull;
+
+// Bounded spin, then cede the CPU. The protocol windows writers wait out
+// (a pending merge marker, a half-installed batch group) are a handful of
+// instructions wide, so on a machine with free cores a short cpu_relax()
+// spin wins — but when the window's owner has been *preempted* (always the
+// case once threads outnumber cores; see the 1->8 thread sweeps in
+// BENCH_RESULTS/), spinning burns the rest of a scheduler quantum doing
+// nothing while the owner waits for a CPU. Yielding after a short spin
+// hands the quantum to the owner instead, which is where the oversubscribed
+// update-only scaling went. Stateful so the spin budget resets after every
+// yield.
+class SpinBackoff {
+ public:
+  void pause() {
+    if (++spins_ >= kSpinLimit) {
+      spins_ = 0;
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int spins_ = 0;
+};
 
 enum class RevKind : std::uint8_t {
   kPlain,     // single-key update (or split part)
@@ -157,13 +187,51 @@ struct Revision {
                                      // here by a tombstone re-route"; same
                                      // width as BatchDescriptor::installed
                                      // so huge batches cannot wrap it
-  std::uint32_t hmask = 0;           // hash bucket count - 1
-  std::vector<std::uint32_t> hslots; // 2 slots/bucket: (tag16 << 16) | index
-  std::vector<std::uint64_t> hoverflow;  // per-bucket overflow bitmap
+  std::uint32_t hmask = 0;  // hash bucket count - 1; 0 = no index built
+  std::uint32_t alloc_bytes = 0;  // block size allocate() drew, for dispose()
+
+  // The hash index lives *inline* after the entry array (DESIGN.md §14):
+  // per-bucket overflow bitmap first (u64-aligned), then the 2-slots-per-
+  // bucket table. One allocation per revision instead of three — the update
+  // path's dominant malloc/free traffic — and a lookup touches index and
+  // entries in one contiguous block instead of chasing two vector heads.
+  // Layout is a pure function of `cap`, so the accessors need no extra
+  // fields; allocate() reserves the space only when the builder wants an
+  // index (cfg.hash_index) and the slot format can address every entry
+  // (cap <= 0xFFFF: slots keep the entry index in their low 16 bits).
+
+  static std::uint32_t index_buckets(std::uint32_t capacity) {
+    std::uint32_t b = 4;
+    while (b < capacity) b <<= 1;
+    return b;
+  }
 
   static constexpr std::size_t entry_offset() {
     return (sizeof(Revision) + alignof(Entry) - 1) / alignof(Entry) *
            alignof(Entry);
+  }
+
+  static std::size_t index_offset(std::uint32_t capacity) {
+    return (entry_offset() + std::size_t{capacity} * sizeof(Entry) +
+            alignof(std::uint64_t) - 1) &
+           ~(alignof(std::uint64_t) - 1);
+  }
+
+  std::uint64_t* hoverflow_data() {
+    return reinterpret_cast<std::uint64_t*>(
+        reinterpret_cast<unsigned char*>(this) + index_offset(cap));
+  }
+  const std::uint64_t* hoverflow_data() const {
+    return reinterpret_cast<const std::uint64_t*>(
+        reinterpret_cast<const unsigned char*>(this) + index_offset(cap));
+  }
+  std::uint32_t* hslots_data() {
+    return reinterpret_cast<std::uint32_t*>(hoverflow_data() +
+                                            (index_buckets(cap) + 63) / 64);
+  }
+  const std::uint32_t* hslots_data() const {
+    return reinterpret_cast<const std::uint32_t*>(
+        hoverflow_data() + (index_buckets(cap) + 63) / 64);
   }
 
   Entry* entry_data() {
@@ -181,16 +249,39 @@ struct Revision {
   std::span<const Entry> entries() const { return {entry_data(), count}; }
   bool empty() const { return count == 0; }
 
-  static Revision* allocate(std::uint32_t capacity) {
+  static Revision* allocate(std::uint32_t capacity, bool with_index = true) {
     // Plain ::operator new only guarantees the default alignment; the
     // inline array would silently misalign an over-aligned Entry type.
     static_assert(alignof(Entry) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
                   "over-aligned key/value types need an aligned allocator");
-    void* mem = ::operator new(entry_offset() +
-                               std::size_t{capacity} * sizeof(Entry));
+    std::size_t bytes =
+        entry_offset() + std::size_t{capacity} * sizeof(Entry);
+    if (with_index && capacity <= 0xFFFF) {
+      const std::uint32_t buckets = index_buckets(capacity);
+      bytes = index_offset(capacity) +
+              std::size_t{(buckets + 63) / 64} * sizeof(std::uint64_t) +
+              std::size_t{buckets} * 2 * sizeof(std::uint32_t);
+    }
+    // Revisions cycle at op rate (every update builds one and retires one),
+    // so draw from the per-thread block cache: the most recently disposed
+    // same-class block comes back first, skipping the allocator round trip
+    // the EBR delay would otherwise turn into a cold miss (DESIGN.md §14.3).
+    bytes = ThreadBlockCache::usable_size(bytes);
+    void* mem = ThreadBlockCache::allocate(bytes);
     auto* r = ::new (mem) Revision();
     r->cap = capacity;
+    r->alloc_bytes = static_cast<std::uint32_t>(bytes);
     return r;
+  }
+
+  // The cache-aware free: every engine path funnels here (via unref). Reads
+  // the block size before ending the object's lifetime, so the recycle needs
+  // no out-of-band size map. Plain `delete` stays correct as a fallback —
+  // operator delete below returns the block to the system allocator.
+  static void dispose(Revision* r) {
+    const std::size_t bytes = r->alloc_bytes;
+    r->~Revision();
+    ThreadBlockCache::deallocate(r, bytes);
   }
 
   static void operator delete(void* p) { ::operator delete(p); }
@@ -227,11 +318,36 @@ struct Revision {
   // the merge's second and final CAS landed. Pending kAbsorbed markers are
   // never stamped: their merge may still abort.)
 
+  // Lower-bound position of k (first entry not less than k). Hand-rolled so
+  // each halving step can prefetch the two possible next midpoints while the
+  // current compare resolves (DESIGN.md §14): on the big lookup-heavy
+  // revisions the autoscaler builds, the dependent-miss chain of a cold
+  // binary search is the read path's dominant stall.
+  template <class Less>
+  const Entry* lower_bound_pos(const K& k, const Less& less) const {
+    const Entry* lo = begin();
+    std::size_t n = count;
+    while (n > 8) {
+      const std::size_t half = n / 2;
+      prefetch_ro(lo + half / 2);                      // next mid, left half
+      prefetch_ro(lo + half + (n - half) / 2);         // next mid, right half
+      if (less(lo[half].first, k)) {
+        lo += half + 1;
+        n -= half + 1;
+      } else {
+        n = half;
+      }
+    }
+    while (n > 0 && less(lo->first, k)) {
+      ++lo;
+      --n;
+    }
+    return lo;
+  }
+
   template <class Less>
   const Entry* find_binary(const K& k, const Less& less) const {
-    const Entry* it = std::lower_bound(
-        begin(), end(), k,
-        [&](const Entry& e, const K& key) { return less(e.first, key); });
+    const Entry* it = lower_bound_pos(k, less);
     if (it == end() || less(k, it->first)) return nullptr;
     return it;
   }
@@ -242,18 +358,20 @@ struct Revision {
   // overflowed during the build — only then fall back to binary search.
   template <class Less>
   const Entry* find(const K& k, std::uint16_t h16, const Less& less) const {
-    if (!hslots.empty()) {
+    if (hmask != 0) {
+      const std::uint32_t* slots = hslots_data();
       const std::uint32_t bucket = static_cast<std::uint32_t>(h16) & hmask;
       const std::uint32_t base = bucket * 2;
       for (int s = 0; s < 2; ++s) {
-        const std::uint32_t slot = hslots[base + s];
+        const std::uint32_t slot = slots[base + s];
         if (slot == kEmptySlot) return nullptr;
         if ((slot >> 16) == h16) {
           const Entry& e = entry_data()[slot & 0xFFFFu];
           if (!less(e.first, k) && !less(k, e.first)) return &e;
         }
       }
-      if (!((hoverflow[bucket >> 6] >> (bucket & 63)) & 1)) return nullptr;
+      if (!((hoverflow_data()[bucket >> 6] >> (bucket & 63)) & 1))
+        return nullptr;
     }
     return find_binary(k, less);
   }
@@ -262,9 +380,11 @@ struct Revision {
     if (r->link_refs.fetch_sub(1, std::memory_order_acq_rel) ==  // pairs: rev-refs
         1) {
       if (immediate)
-        delete r;
+        dispose(r);
       else
-        ebr::retire(r);  // unlink: rev-unref
+        ebr::retire_fn(r, [](void* q) {  // unlink: rev-unref
+          dispose(static_cast<Revision*>(q));
+        });
     }
   }
 };
@@ -279,13 +399,15 @@ class RevisionBuilder {
   RevisionBuilder(RevKind kind, std::uint32_t capacity,
                   std::uint64_t version = kPendingVersion,
                   bool hash_index = true)
-      : rev_(Rev::allocate(capacity)), hash_index_(hash_index) {
+      : rev_(Rev::allocate(capacity, hash_index)), hash_index_(hash_index) {
     rev_->kind = kind;
     // relaxed: the revision is thread-private until the install CAS.
     rev_->version.store(version, std::memory_order_relaxed);
   }
 
-  ~RevisionBuilder() { delete rev_; }
+  ~RevisionBuilder() {
+    if (rev_) Rev::dispose(rev_);
+  }
 
   void emit(K k, V v) {
     assert(rev_->count < rev_->cap);
@@ -301,24 +423,27 @@ class RevisionBuilder {
     rev_ = nullptr;
     const std::uint32_t n = r->count;
     if (hash_index_ && n > 0 && n <= 0xFFFF) {
-      std::uint32_t buckets = 4;
-      while (buckets < n) buckets <<= 1;
+      // Build the index in the space allocate() reserved inline; the table
+      // is sized by cap (== n for every engine build path), so the layout
+      // accessors reproduce these addresses from cap alone.
+      const std::uint32_t buckets = Rev::index_buckets(r->cap);
       r->hmask = buckets - 1;
-      r->hslots.assign(static_cast<std::size_t>(buckets) * 2,
-                       Rev::kEmptySlot);
-      r->hoverflow.assign((buckets + 63) / 64, 0);
+      std::uint32_t* slots = r->hslots_data();
+      std::uint64_t* overflow = r->hoverflow_data();
+      std::fill_n(slots, std::size_t{buckets} * 2, Rev::kEmptySlot);
+      std::fill_n(overflow, (buckets + 63) / 64, std::uint64_t{0});
       for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint16_t tag = fold_hash16(Hash{}(r->entry(i).first));
         const std::uint32_t bucket = static_cast<std::uint32_t>(tag) & r->hmask;
         const std::uint32_t base = bucket * 2;
-        if (r->hslots[base] == Rev::kEmptySlot)
-          r->hslots[base] = (static_cast<std::uint32_t>(tag) << 16) | i;
-        else if (r->hslots[base + 1] == Rev::kEmptySlot)
-          r->hslots[base + 1] = (static_cast<std::uint32_t>(tag) << 16) | i;
+        if (slots[base] == Rev::kEmptySlot)
+          slots[base] = (static_cast<std::uint32_t>(tag) << 16) | i;
+        else if (slots[base + 1] == Rev::kEmptySlot)
+          slots[base + 1] = (static_cast<std::uint32_t>(tag) << 16) | i;
         else {
           // Bucket full: this key is findable only by binary search; mark
           // the bucket so only its misses pay the fallback.
-          r->hoverflow[bucket >> 6] |= 1ull << (bucket & 63);
+          overflow[bucket >> 6] |= 1ull << (bucket & 63);
         }
       }
     }
@@ -353,6 +478,14 @@ struct JiffyNode {
   std::atomic<std::uint64_t> birth{kPendingVersion};
   std::atomic<Revision<K, V>*> rev{nullptr};
   std::atomic<JiffyNode*> back{nullptr};
+  // Link-structure generation observed when `back` was last validated: a
+  // slow-path pred_at stamps the pre-walk generation after tightening the
+  // hint, so a later reverse scan that sees back_gen == map.gen_ may try the
+  // hint directly. The stamp is a staleness filter only — `back` and
+  // `back_gen` are separate atomics racing writers can cross-pair, so the
+  // fast path still self-validates the hint (next[0] == this && held_at)
+  // before trusting it. See DESIGN.md §14.
+  std::atomic<std::uint64_t> back_gen{0};
   // Set (once, never cleared) by the purge pass on a dead tombstone it is
   // about to unlink: writers that could otherwise re-publish a link to the
   // node check it first (install_split, pred_at). See DESIGN.md §9.
@@ -369,6 +502,16 @@ struct JiffyConfig {
     std::uint32_t fixed_size = 128;  // revision size cap when disabled
     std::uint32_t min_size = 48;     // target at 0% reads
     std::uint32_t max_size = 224;    // target at 100% reads
+    // Byte budgets bounding the entry-count targets above (DESIGN.md §14.2).
+    // A put rebuilds its whole revision, so the *byte* size of a revision —
+    // entry count x sizeof(Entry) — is what the write fast path actually
+    // pays; the count targets were tuned for ~12B entries and turn into
+    // multi-KB memcpys per update at 100B values. JiffyMap derives effective
+    // min/max counts as min(count target, byte budget / sizeof(Entry)),
+    // floored at 8/32 entries — a pure reduction, so explicit small configs
+    // and small-entry workloads see exactly the counts configured here.
+    std::uint32_t min_bytes = 576;   // 48 entries x 12B, the tuning point
+    std::uint32_t max_bytes = 2688;  // 224 entries x 12B
     double tau_s = 0.5;              // EMA time constant (paper: ~1-10 s
                                      // adjustment; scaled to small runs)
     double interval_s = 0.05;        // min recompute interval
@@ -382,8 +525,11 @@ struct JiffyConfig {
 };
 
 // Time-weighted EMA of the read fraction driving the revision-size target
-// (§3.3.6). Ops are sampled 1-in-16 through a thread-local counter so the
-// shared counters are off the per-op fast path.
+// (§3.3.6). Ops are sampled 1-in-16 through a thread-local counter, and the
+// sampled tallies land in a per-thread-sharded slot array (one cacheline per
+// slot) instead of two process-global atomics — the EMA path touches shared
+// memory only on refresh, when the window owner drains the slots. See
+// DESIGN.md §14.
 class RevisionAutoscaler {
  public:
   explicit RevisionAutoscaler(const JiffyConfig::Autoscaler& cfg)
@@ -413,8 +559,12 @@ class RevisionAutoscaler {
     thread_local std::uint32_t tick = 0;
     if ((tick++ & 15u) != 0 && weight == 1) return;
     const std::uint64_t w = weight == 1 ? 16 : weight;
-    // relaxed: sampled op counter; only totals matter, not ordering.
-    (is_read ? reads_ : writes_).fetch_add(w, std::memory_order_relaxed);
+    TallySlot& slot =
+        tallies_[detail::thread_shard_id() & (kCounterShards - 1)];
+    // relaxed: sampled per-shard op counter; only totals matter, not
+    // ordering — the drain in maybe_update sums whatever landed.
+    (is_read ? slot.reads : slot.writes).fetch_add(w,
+                                                   std::memory_order_relaxed);
     maybe_update();
   }
 
@@ -439,11 +589,15 @@ class RevisionAutoscaler {
     if (!last_ns_.compare_exchange_strong(last, now,
                                           std::memory_order_relaxed))
       return;  // someone else owns this update window
-    // relaxed: approximate sample harvest; ops landing around the exchange
-    // are counted in whichever window sees them.
-    const std::uint64_t r = reads_.exchange(0, std::memory_order_relaxed);
-    // relaxed: same approximate harvest as reads_ above.
-    const std::uint64_t w = writes_.exchange(0, std::memory_order_relaxed);
+    std::uint64_t r = 0;
+    std::uint64_t w = 0;
+    for (TallySlot& s : tallies_) {
+      // relaxed: approximate sample harvest; samples landing around the
+      // exchange are counted in whichever window drains their slot next.
+      r += s.reads.exchange(0, std::memory_order_relaxed);
+      // relaxed: same approximate harvest as the reads exchange above.
+      w += s.writes.exchange(0, std::memory_order_relaxed);
+    }
     if (r + w == 0) return;
     const double rf = static_cast<double>(r) / static_cast<double>(r + w);
     const double dt = static_cast<double>(now - last) * 1e-9;
@@ -460,10 +614,22 @@ class RevisionAutoscaler {
                   std::memory_order_relaxed);
   }
 
+  // One cacheline of sampled tallies per thread shard: reads and writes for
+  // a shard are written by the same thread, so they share a line on purpose;
+  // distinct shards never do.
+  struct alignas(kCacheLineBytes) TallySlot {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+  static_assert(sizeof(TallySlot) == kCacheLineBytes,
+                "tally slots must not share cachelines across shards");
+
   JiffyConfig::Autoscaler cfg_;
-  std::atomic<std::uint64_t> reads_{0};
-  std::atomic<std::uint64_t> writes_{0};
-  std::atomic<std::uint64_t> last_ns_{0};
+  TallySlot tallies_[kCounterShards];
+  // last_ns_ is CAS-contended by every sampled op that crosses the refresh
+  // interval; keep it off the line holding the read-mostly ema_/target_.
+  CachePadded<std::atomic<std::uint64_t>> last_ns_pad_;
+  std::atomic<std::uint64_t>& last_ns_ = last_ns_pad_.value;
   std::atomic<double> ema_{0.5};
   std::atomic<std::uint32_t> target_{128};
 };
@@ -487,8 +653,26 @@ class JiffyMap {
 
   JiffyMap() : JiffyMap(JiffyConfig{}) {}
 
+  // Apply the autoscaler's byte budgets to its entry-count targets for this
+  // map's sizeof(Entry) — reduction only, see JiffyConfig::Autoscaler.
+  static JiffyConfig::Autoscaler byte_scaled(JiffyConfig::Autoscaler a) {
+    const std::size_t e = sizeof(Entry);
+    const auto by_min =
+        static_cast<std::uint32_t>(std::max<std::size_t>(8, a.min_bytes / e));
+    const auto by_max =
+        static_cast<std::uint32_t>(std::max<std::size_t>(32, a.max_bytes / e));
+    if (by_min < a.min_size) a.min_size = by_min;
+    if (by_max < a.max_size) a.max_size = by_max;
+    if (a.max_size < a.min_size) a.max_size = a.min_size;
+    return a;
+  }
+
   explicit JiffyMap(const JiffyConfig& cfg)
-      : cfg_(cfg), scaler_(cfg.autoscaler) {
+      : cfg_(cfg), scaler_(byte_scaled(cfg.autoscaler)) {
+    // relaxed: constructor runs before the map is shared. Start at 1 so a
+    // fresh node's zero-initialized back_gen can never match the live
+    // generation before a slow-path pred_at has actually validated its hint.
+    gen_.store(1, std::memory_order_relaxed);
     head_ = new Node(Node::kMaxHeight, /*head=*/true, K{});
     RevisionBuilder<K, V, Hash> b(RevKind::kPlain, 0, /*version=*/0,
                                   cfg_.hash_index);
@@ -533,7 +717,13 @@ class JiffyMap {
     scaler_.note(/*is_read=*/false);
     ebr::Guard g;
     g.assert_held();
-    for (;;) {
+    // Install losses escalate to yield: a lost head CAS means another writer
+    // landed on this node, and each retry re-copies the whole revision, so a
+    // skewed workload on an oversubscribed core turns a hot node into a storm
+    // of doomed multi-KB rebuilds. Two consecutive losses ⇒ donate the slice
+    // to the contending writer instead of racing it. Uncontended puts never
+    // lose, so the counter costs nothing on the fast path.
+    for (int losses = 0;;) {
       auto [x, r] = locate(k, g);
       if (wait_writable(x, r, g) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
@@ -543,10 +733,10 @@ class JiffyMap {
       const std::uint32_t maxsz = effective_max_size();
       if (newn > maxsz && newn >= 4) {
         if (install_split(x, r, &k, &v, g)) {
-          // relaxed: approximate size counter (see approx_size).
-          if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
+          if (!hit) size_.increment();  // sharded; see approx_size
           return !hit;
         }
+        if (++losses >= 2) std::this_thread::yield();
         continue;
       }
       RevisionBuilder<K, V, Hash> b(RevKind::kPlain, newn, kPendingVersion,
@@ -568,12 +758,12 @@ class JiffyMap {
       Rev* nr = b.finish();
       nr->prev = r;
       if (install_plain(x, r, nr, g)) {
-        // relaxed: approximate size counter (see approx_size).
-        if (!hit) size_.fetch_add(1, std::memory_order_relaxed);
+        if (!hit) size_.increment();  // sharded; see approx_size
         maybe_merge(x, g);
         return !hit;
       }
       Rev::unref(nr, /*immediate=*/true);
+      if (++losses >= 2) std::this_thread::yield();
     }
   }
 
@@ -582,7 +772,7 @@ class JiffyMap {
     scaler_.note(/*is_read=*/false);
     ebr::Guard g;
     g.assert_held();
-    for (;;) {
+    for (int losses = 0;;) {  // same loss escalation as put()
       auto [x, r] = locate(k, g);
       if (wait_writable(x, r, g) != r) continue;  // head moved: re-route
       if (r->kind == RevKind::kAbsorbed) continue;  // merge committed here
@@ -594,12 +784,12 @@ class JiffyMap {
       Rev* nr = b.finish();
       nr->prev = r;
       if (install_plain(x, r, nr, g)) {
-        // relaxed: approximate size counter (see approx_size).
-        size_.fetch_sub(1, std::memory_order_relaxed);
+        size_.decrement();  // sharded; see approx_size
         maybe_merge(x, g);
         return true;
       }
       Rev::unref(nr, /*immediate=*/true);
+      if (++losses >= 2) std::this_thread::yield();
     }
   }
 
@@ -724,12 +914,13 @@ class JiffyMap {
 
   SnapshotT snapshot() const { return SnapshotT(this); }
 
-  // O(1) approximate entry count, maintained by the update paths; transient
-  // in-flight operations can make it momentarily off by their op count.
+  // Approximate entry count, maintained by the update paths in a sharded
+  // counter (O(kCounterShards) relaxed loads to aggregate — still constant,
+  // and the update-side write touches only the caller's shard). Exact when
+  // writers are quiescent; under churn transiently off by at most the ops in
+  // flight during the aggregate sweep.
   std::size_t approx_size() const {
-    // relaxed: the count is approximate by contract; in-flight ops make it
-    // momentarily off either way, so ordering buys nothing.
-    const std::int64_t n = size_.load(std::memory_order_relaxed);
+    const std::int64_t n = size_.read();
     return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
 
@@ -898,6 +1089,12 @@ class JiffyMap {
              nxt && !less_(k, nxt->anchor);
              nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
           x = nxt;
+        // Foresight (DESIGN.md §14): the next hop reads the same tower slot
+        // one level down — warm its target's header while this level's loop
+        // bookkeeping retires, hiding the dependent miss of the descent.
+        // relaxed: the pointer feeds prefetch_ro only and is never
+        // dereferenced; the traversal reload above carries the acquire edge.
+        prefetch_ro(x->next[l - 1].load(std::memory_order_relaxed));
       }
       // A node counts as dead only once its marker is STAMPED (merge
       // committed). A pending marker may still be rolled back, so its node
@@ -920,6 +1117,11 @@ class JiffyMap {
                live->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
            cur && !less_(k, cur->anchor);
            cur = cur->next[0].load(std::memory_order_seq_cst)) {  // pairs: next-link
+        // Foresight: overlap the next node's header miss with this node's
+        // revision inspection (the revision pointer chase below).
+        // relaxed: prefetch address only, never dereferenced here; the loop
+        // re-reads the slot with its paired seq_cst load before following.
+        prefetch_ro(cur->next[0].load(std::memory_order_relaxed));
         Rev* rc = cur->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
         if (rc->sibling) ensure_link(cur, rc, g);
         if (!dead(rc)) live = cur;
@@ -934,6 +1136,9 @@ class JiffyMap {
             live->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
         if (nxt && !less_(k, nxt->anchor)) continue;  // sibling owns k
       }
+      // Warm the inline entry array (begin() is pointer arithmetic off the
+      // already-loaded revision pointer): every caller searches it next.
+      prefetch_ro(now->begin());
       return {live, now};
     }
   }
@@ -952,16 +1157,20 @@ class JiffyMap {
   // so the caller can detect that routing went stale and re-locate.
   Rev* wait_writable(Node* x, Rev* r, const ebr::Guard& g)
       JIFFY_REQUIRES_GUARD(g) {
+    SpinBackoff backoff;
     for (;;) {
       if (r->version_now() != kPendingVersion)
         return x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (help_revision(r, g)) continue;
       // Pending kAbsorbed marker: wait, but keep re-reading the head — an
       // aborted merge replaces its marker without ever stamping it, and
-      // spinning on the dead revision alone would hang.
+      // spinning on the dead revision alone would hang. The wait is bounded
+      // by the merge writer's two-CAS window, but that writer may be
+      // preempted (oversubscribed runs), so back off to yield rather than
+      // burn the quantum it needs.
       Rev* cur = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (cur != r) return cur;
-      cpu_relax();
+      backoff.pause();
     }
   }
 
@@ -1006,6 +1215,7 @@ class JiffyMap {
     const std::vector<BatchOp<K, V>>& sops = d->ops;
     std::vector<Rev*> replaced;
     std::int64_t delta = 0;
+    SpinBackoff backoff;
     for (;;) {
       const std::size_t i =
           d->installed.load(std::memory_order_seq_cst);  // pairs: batch-watermark
@@ -1028,7 +1238,9 @@ class JiffyMap {
         // so they linearize together. Fall through with r as the base.
       } else {
         if (r->version_now() == kPendingVersion) {
-          if (!help_revision(r, g)) cpu_relax();  // pending marker: wait
+          // Pending marker: wait it out, yielding once the bounded spin
+          // expires — the merge writer may be preempted on this core.
+          if (!help_revision(r, g)) backoff.pause();
           continue;
         }
         if (r->kind == RevKind::kAbsorbed) continue;  // died: re-route
@@ -1056,8 +1268,7 @@ class JiffyMap {
       d->installed.compare_exchange_strong(
           e, j, std::memory_order_seq_cst);  // pairs: batch-watermark
     }
-    // relaxed: approximate size counter (see approx_size).
-    if (delta != 0) size_.fetch_add(delta, std::memory_order_relaxed);
+    if (delta != 0) size_.add(delta);  // sharded; see approx_size
     sched::point(sched::Point::kBatchStamp);
     std::uint64_t expected = kPendingVersion;
     cell->version.compare_exchange_strong(
@@ -1238,6 +1449,15 @@ class JiffyMap {
     }
     sched::point(sched::Point::kSplitLink);
     ensure_link(x, rlow, g);
+    // The link chain just grew: any back_gen stamped against the pre-split
+    // structure is now stale, so bump the generation. Splits are the only
+    // bump site — purge splices and merges never insert a node between a
+    // hint and its successor, and liveness changes are covered by the fast
+    // path's held_at re-check (see pred_at).
+    // relaxed: the generation is a staleness filter only; pred_at's fast
+    // path self-validates every hint and never trusts the stamp alone, so
+    // no ordering with the link stores is required for correctness.
+    gen_.fetch_add(1, std::memory_order_relaxed);
     // Tighten the old successor's back hint onto the rightmost new node
     // (new_nodes[0]); stale hints only cost a longer forward re-walk.
     if (old_next && !new_nodes.empty())
@@ -1289,7 +1509,7 @@ class JiffyMap {
     // relaxed: the cell is thread-private until the marker CAS publishes.
     cell->refs.store(1, std::memory_order_relaxed);  // writer's reference
 
-    auto* marker = Rev::allocate(0);
+    auto* marker = Rev::allocate(0, /*with_index=*/false);
     marker->kind = RevKind::kAbsorbed;
     marker->cell = cell;
     // relaxed: pre-publication refcount bump; the marker CAS publishes.
@@ -1556,6 +1776,11 @@ class JiffyMap {
                    [[maybe_unused]] const ebr::VersionTicket& tk) const
       JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     while (r) {
+      // Foresight: the chain walk is a pointer chase — warm the predecessor
+      // header while this revision's version (a possible cell indirection)
+      // resolves. prev is immutable after publication, so the plain read is
+      // race-free and the hint is never stale.
+      prefetch_ro(r->prev);
       std::uint64_t t = r->version_now();
       if (t == kPendingVersion && try_help_stamp(r, g)) t = r->version_now();
       if (t <= v) return r;  // pending (== ~0) is never <= v
@@ -1600,6 +1825,10 @@ class JiffyMap {
            nxt && !less_(from, nxt->anchor) && held_at(nxt, v, g, tk);
            nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
         x = nxt;
+      // Foresight: warm the next hop one level down (see locate()).
+      // relaxed: prefetch address only, never dereferenced; the traversal
+      // reload above carries the acquire edge.
+      prefetch_ro(x->next[l - 1].load(std::memory_order_relaxed));
     }
     Node* best = x;
     for (Node* cur = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
@@ -1620,12 +1849,15 @@ class JiffyMap {
     std::size_t emitted = 0;
     const K* last = nullptr;
     for (Node* x = position(from, v, g, tk); x && emitted < n;) {
+      // Foresight: the next node's header miss overlaps this node's
+      // revision-chain walk and entry emission.
+      // relaxed: prefetch address only, never dereferenced; the loop's
+      // paired seq_cst reload below is what the traversal follows.
+      prefetch_ro(x->next[0].load(std::memory_order_relaxed));
       Rev* head = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
       if (head->sibling) ensure_link(x, head, g);
       if (Rev* r = visible_rev(head, v, g, tk)) {
-        const Entry* it = std::lower_bound(
-            r->begin(), r->end(), from,
-            [&](const Entry& e, const K& key) { return less_(e.first, key); });
+        const Entry* it = r->lower_bound_pos(from, less_);
         for (; it != r->end() && emitted < n; ++it) {
           if (last && !less_(*last, it->first)) continue;
           f(it->first, it->second);
@@ -1705,7 +1937,27 @@ class JiffyMap {
                 const ebr::VersionTicket& tk) const
       JIFFY_REQUIRES_GUARD(g) JIFFY_REQUIRES_TICKET(tk) {
     if (x == head_) return nullptr;
+    // relaxed: the generation is a staleness filter, not a publication
+    // channel — the fast path below self-validates the hint, so any recent
+    // value is acceptable (a stale read only forfeits the shortcut).
+    const std::uint64_t gen = gen_.load(std::memory_order_relaxed);
     Node* hint = x->back.load(std::memory_order_acquire);  // pairs: back-hint
+    // Quiescent fast path (DESIGN.md §14): a hint stamped with the current
+    // link generation was forward-validated since the last split changed
+    // the chain. The stamp alone is NOT trusted — back and back_gen are
+    // separate atomics that racing slow paths can cross-pair — so the hint
+    // is re-validated in place: it must still be x's immediate list
+    // predecessor (next[0] == x) and must hold its range at v. That pair of
+    // checks is point-in-time sound on its own (v was pinned before this
+    // call: a node linked later is born after v, and an unlinked node is a
+    // condemned tombstone already dead at v), which is what makes the
+    // generation safe to use as a mere filter. On a match the whole forward
+    // re-validation walk is skipped.
+    if (hint &&
+        x->back_gen.load(std::memory_order_acquire) == gen &&  // pairs: back-gen
+        hint->next[0].load(std::memory_order_seq_cst) == x &&  // pairs: next-link
+        (hint == head_ || held_at(hint, v, g, tk)))
+      return hint;
     Node* p = hint ? hint : head_;
     while (p != head_ && !held_at(p, v, g, tk)) {
       Node* q = p->back.load(std::memory_order_acquire);  // pairs: back-hint
@@ -1721,9 +1973,18 @@ class JiffyMap {
     // scrubs stale hints before retiring a shell, and a reader must not
     // plant fresh ones behind its back (ticketed versions make `best`
     // condemned only in the brief window before the condemn flag is seen).
-    if (best != hint &&
-        !best->condemned.load(std::memory_order_seq_cst))  // pairs: condemn-flag
-      x->back.store(best, std::memory_order_release);  // pairs: back-hint
+    // When the validated predecessor is x's immediate one, also stamp the
+    // pre-walk generation: if no split intervened (gen_ still == gen), a
+    // later reverse scan may take the fast path above. Stamping the
+    // *pre-walk* value is what keeps the filter conservative — a split
+    // racing this walk bumped gen_ already, so the stamp mismatches and the
+    // next reader re-validates.
+    if (!best->condemned.load(std::memory_order_seq_cst)) {  // pairs: condemn-flag
+      if (best != hint)
+        x->back.store(best, std::memory_order_release);  // pairs: back-hint
+      if (best->next[0].load(std::memory_order_seq_cst) == x)  // pairs: next-link
+        x->back_gen.store(gen, std::memory_order_release);  // pairs: back-gen
+    }
     return best;
   }
 
@@ -1801,14 +2062,29 @@ class JiffyMap {
   Hash hash_{};
   Clock clock_{};
   mutable RevisionAutoscaler scaler_;
-  std::atomic<std::int64_t> size_{0};
+  // Hot shared state below is cacheline-padded so independently-written
+  // atomics never false-share with each other or with the read-mostly
+  // members above (head_, cfg_); see DESIGN.md §14 for the per-op budget.
+  StripedCounter<kCounterShards> size_;
+  // Link-structure generation: bumped by install_split between linking the
+  // new nodes and stamping them live. pred_at's slow path stamps it into
+  // back_gen after validating a hint; a matching stamp lets reverse scans
+  // try the hint first. Bumped only on split — purge splices and merges
+  // never insert nodes between a hint and its successor, and liveness
+  // changes are covered by the fast path's held_at re-check.
+  CachePadded<std::atomic<std::uint64_t>> gen_pad_;
+  std::atomic<std::uint64_t>& gen_ = gen_pad_.value;
   Node* head_;
 
   // Reclamation state (purge()). purge_pending_ and purge_epoch_ are owned
   // by whichever thread holds purging_.
-  std::atomic<std::int64_t> dead_shells_{0};  // kAbsorbed shells not retired
-  std::atomic<std::uint64_t> purged_total_{0};
-  std::atomic<bool> purging_{false};
+  CachePadded<std::atomic<std::int64_t>>
+      dead_shells_pad_;  // kAbsorbed shells not retired
+  std::atomic<std::int64_t>& dead_shells_ = dead_shells_pad_.value;
+  CachePadded<std::atomic<std::uint64_t>> purged_total_pad_;
+  std::atomic<std::uint64_t>& purged_total_ = purged_total_pad_.value;
+  CachePadded<std::atomic<bool>> purging_pad_;
+  std::atomic<bool>& purging_ = purging_pad_.value;
   std::vector<Node*> purge_pending_;  // condemned + unlinked, awaiting drain
   std::uint64_t purge_epoch_ = 0;
 };

@@ -37,9 +37,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/analysis.h"
+#include "common/prefetch.h"
+#include "common/striped_counter.h"  // CachePadded, kCacheLineBytes
 
 namespace jiffy::ebr {
 
@@ -47,12 +50,27 @@ namespace detail {
 
 inline constexpr std::uint64_t kIdleEpoch = ~0ull;
 
+// Pressure-valve cadence: with the epoch stuck and the limbo bucket past
+// kLimboPressure items, retire_fn yields once per kValvePeriod retires. The
+// cadence bounds the steady-state hoard at roughly 3x the period per thread
+// (one period of growth per scheduler round, freed two epochs later) while
+// keeping scheduling slices long enough that the cache-warmth lost to each
+// context switch stays amortized. kLimboPressure keeps the valve dormant in
+// same-epoch steady state, where collect() empties buckets near 128 items.
+inline constexpr std::size_t kLimboPressure = 96;
+inline constexpr std::size_t kValvePeriod = 64;
+
 struct Retired {
   void* ptr;
   void (*deleter)(void*);
 };
 
-struct ThreadRec {
+// Cacheline-aligned: each record's pinned/nest fields are written on every
+// outermost guard entry/exit by exactly one thread; alignment keeps two
+// records (small enough for the allocator to co-locate) from false-sharing
+// each other's per-op stores, and keeps a record's hot fields off the line
+// of whatever the allocator places after it. See DESIGN.md §14.
+struct alignas(kCacheLineBytes) ThreadRec {
   // Epoch this thread is pinned at; kIdleEpoch when not inside a guard.
   std::atomic<std::uint64_t> pinned{kIdleEpoch};
   std::atomic<int> nest{0};
@@ -63,11 +81,21 @@ struct ThreadRec {
   std::vector<Retired> limbo[3];
   std::uint64_t limbo_epoch[3] = {0, 0, 0};
   std::size_t retires_since_scan = 0;
+  std::size_t retires_since_valve = 0;  // see the pressure valve in retire_fn
 };
 
 struct Global {
-  std::atomic<std::uint64_t> epoch{1};
-  std::atomic<ThreadRec*> head{nullptr};
+  // Padded apart: epoch is CASed by every try_advance while head is a
+  // read-mostly registry root loaded by every epoch scan — sharing a line
+  // would make the advance CAS invalidate every scanner's cached head.
+  CachePadded<std::atomic<std::uint64_t>> epoch_pad;
+  CachePadded<std::atomic<ThreadRec*>> head_pad;
+  std::atomic<std::uint64_t>& epoch = epoch_pad.value;
+  std::atomic<ThreadRec*>& head = head_pad.value;
+  Global() {
+    // relaxed: constructed once (function-local static) before any sharing.
+    epoch.store(1, std::memory_order_relaxed);
+  }
 };
 
 inline Global& global() {
@@ -76,7 +104,16 @@ inline Global& global() {
 }
 
 inline void free_bucket(std::vector<Retired>& b) {
-  for (const Retired& r : b) r.deleter(r.ptr);
+  // Drains run in bursts (hundreds of objects after an oversubscription
+  // stall, DESIGN.md §14.3) and every deleter's first touch of its object is
+  // a dependent cold miss. Prefetch a few objects ahead so the misses
+  // overlap the deleter work instead of serializing behind it.
+  constexpr std::size_t kAhead = 8;
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) prefetch_ro(b[i + kAhead].ptr);
+    b[i].deleter(b[i].ptr);
+  }
   b.clear();
 }
 
@@ -212,7 +249,29 @@ inline void retire_fn(void* p, void (*deleter)(void*)) {
 
   if (++rec->retires_since_scan >= 64) {
     rec->retires_since_scan = 0;
-    const std::uint64_t now = try_advance();
+    std::uint64_t now = try_advance();
+    // Reclamation pressure valve (DESIGN.md §14): on an oversubscribed core
+    // a descheduled peer is almost always pinned *inside* a guard, so the
+    // epoch cannot advance for this thread's entire scheduling quantum and
+    // its limbo would hoard every revision it retires — megabytes that go
+    // cold in cache while each fresh revision allocation misses instead of
+    // reusing the just-freed hot chunk (measured: the bucket peaks at ~64
+    // objects with one thread but at thousands once threads > cores). Once
+    // the bucket passes the threshold with the epoch stuck, donate the rest
+    // of the quantum: the peer finishes its operation, re-pins at the
+    // current epoch, and the retried advance lets collect() free the hoard.
+    // With threads <= cores the epoch advances on its own and the valve
+    // stays dormant; it is a scheduling hint only, never a wait, so
+    // lock-freedom is unaffected.
+    rec->retires_since_valve += 64;
+    if (bucket.size() >= kLimboPressure && now == e &&
+        rec->retires_since_valve >= kValvePeriod) {
+      rec->retires_since_valve = 0;
+      for (int tries = 0; tries < 8 && now == e; ++tries) {
+        std::this_thread::yield();
+        now = try_advance();
+      }
+    }
     collect(rec, now);
   }
 }
@@ -250,7 +309,10 @@ inline constexpr std::uint64_t kIdleVersion = ~0ull;
 // Same lock-free registration/recycling pattern as ThreadRec, but per
 // *ticket*, not per thread: one thread may hold several (a snapshot plus
 // the cursors it handed out).
-struct VersionSlot {
+// Cacheline-aligned for the same reason as ThreadRec: a slot's v is stored
+// on every ticket publish; unaligned, the 24-byte slots pack two-plus to a
+// line and concurrent ticket holders would ping-pong it.
+struct alignas(kCacheLineBytes) VersionSlot {
   std::atomic<std::uint64_t> v{kIdleVersion};
   std::atomic<bool> in_use{false};
   VersionSlot* next = nullptr;  // immutable after registration

@@ -1,7 +1,7 @@
 // Unit checks for the supporting subsystems: clocks, RNG + distributions,
 // key/value codecs, FixedBytes ordering, revision builder + hash index,
-// EBR, and the CSLM + LockedMap baselines (sequential and a short 4-thread
-// shake for the CSLM).
+// the thread-local block cache, EBR, and the CSLM + LockedMap baselines
+// (sequential and a short 4-thread shake for the CSLM).
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baselines/adapters.h"
+#include "common/block_cache.h"
 #include "common/fixed_bytes.h"
 #include "core/jiffy.h"
 #include "ebr/ebr.h"
@@ -128,9 +129,44 @@ void test_revision_builder() {
   Bld b(RevKind::kPlain, 10, 1, /*hash_index=*/false);
   for (std::uint32_t i = 0; i < 10; ++i) b.emit(i, i);
   Rev* r = b.finish();
-  CHECK(r->hslots.empty());
+  CHECK(r->hmask == 0);
   CHECK(r->find(5, fold_hash16(std::hash<std::uint64_t>{}(5)), lt));
   Rev::unref(r, true);
+}
+
+void test_block_cache() {
+  using C = ThreadBlockCache;
+  // Oversized blocks always bypass the cache: size passes through unchanged.
+  const std::size_t big = C::kMaxBlockBytes + 1;
+  CHECK_EQ(C::usable_size(big), big);
+  void* d = C::allocate(big);
+  CHECK(d != nullptr);
+  C::deallocate(d, big);
+
+  const std::size_t u = C::usable_size(100);
+  if (u == 100) {
+    // Cache compiled out (sanitizer build) or disabled via JIFFY_NO_BLOCK_CACHE:
+    // allocate/deallocate must still pair up as the plain allocator.
+    void* p = C::allocate(u);
+    CHECK(p != nullptr);
+    C::deallocate(p, u);
+    return;
+  }
+
+  // Enabled: sizes round up to the 256-byte class grid...
+  CHECK_EQ(u, std::size_t{256});
+  CHECK_EQ(C::usable_size(300), std::size_t{512});
+  // ...and the most recently freed block of a class is served first (LIFO),
+  // which is the whole point: the warmest lines go to the next build.
+  void* a = C::allocate(u);
+  C::deallocate(a, u);
+  void* b = C::allocate(u);
+  CHECK_EQ(b, a);
+  // A different class cannot alias a block still parked in the cache.
+  C::deallocate(b, u);
+  void* c = C::allocate(C::usable_size(300));
+  CHECK(c != b);
+  C::deallocate(c, C::usable_size(300));
 }
 
 void test_ebr() {
@@ -242,6 +278,7 @@ int main() {
   test_rng_and_chooser();
   test_codecs();
   test_revision_builder();
+  test_block_cache();
   test_ebr();
   test_cslm();
   test_locked_map_stub();

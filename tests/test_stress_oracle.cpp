@@ -193,9 +193,38 @@ int main() {
     threads.emplace_back(
         [&, i] { reader(map, oracle, seed + 100 + i, stop, tally); });
 
-  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  // Mid-churn approx_size() slack check (sampled while mutators run): the
+  // sharded counter's documented contract is "off by at most the ops in
+  // flight during the aggregate sweep". Here at most n_mut ops are in
+  // flight, each moving the count by <= 16 (the largest batch), but both
+  // approx_size() and the size_slow() walk take time — mutations landing
+  // between the two measurements widen the apparent gap — so assert a
+  // deliberately generous envelope that still catches systematic drift
+  // (lost updates would diverge without bound under this much churn).
+  constexpr std::int64_t kSizeSlack = 512;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  std::uint64_t size_checks = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const auto approx = static_cast<std::int64_t>(map.approx_size());
+    const auto slow = static_cast<std::int64_t>(map.size_slow());
+    const std::int64_t gap = approx > slow ? approx - slow : slow - approx;
+    if (gap > kSizeSlack) {
+      std::fprintf(stderr,
+                   "approx_size drifted: approx=%lld slow=%lld gap=%lld\n",
+                   static_cast<long long>(approx),
+                   static_cast<long long>(slow), static_cast<long long>(gap));
+      std::abort();
+    }
+    ++size_checks;
+  }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
+
+  // Quiescent: every delta has landed in its shard and the sweep is exact.
+  CHECK(size_checks > 0);
+  CHECK_EQ(map.approx_size(), map.size_slow());
 
   // Quiescent pass: no mutators, every tracked key must now be exact.
   const std::uint64_t final_failed =
