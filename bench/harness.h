@@ -21,10 +21,25 @@
 //
 // Scale: defaults target a small machine (see DESIGN.md §2 scale note); pass
 // --paper for the full 10M-entry, 96-thread grid of the paper's testbed.
+// Latency columns (ISSUE 10, DESIGN.md §15): every CSV row carries
+// p50/p99/p999 microseconds over the cell's sampled per-op latencies. Two
+// recording modes:
+//   * closed loop (default): service time of 1 op in 4, two TSC reads per
+//     sampled op (~16 ns) — cheap enough to stay inside the §15 overhead
+//     budget, but a stalled op delays the next op's start, so tails are
+//     understated under saturation (classic coordinated omission);
+//   * open loop (--rate=R): ops are dispatched on a fixed schedule of
+//     intended start times (R ops/sec split across the cell's workers) and
+//     every latency is completion MINUS INTENDED start — a stall shows up
+//     in every queued op behind it, never skipped, making the percentiles
+//     coordinated-omission-free.
+// --metrics=<file> additionally dumps per-cell counter deltas + per-role
+// histograms as JSON (schema jiffy-metrics-v1; read by check_scaling.py).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +53,10 @@
 
 #include "baselines/adapters.h"
 #include "common/striped_counter.h"  // CachePadded
+#include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "tsc/clock.h"
 #include "workload/keyvalue.h"
 #include "workload/rng.h"
 
@@ -91,11 +110,101 @@ struct RunConfig {
   // (or single-core, oversubscribed) box are scheduler-noise-dominated, and
   // max-of-N is the standard robust estimator for "what the code can do".
   int reps = 1;
+  // Open-loop mode: total intended ops/sec for the cell, split evenly across
+  // its workers. 0 = closed loop (see the header comment).
+  double rate = 0;
 };
+
+// Latency op classes: one histogram per per-thread role kind, merged across
+// workers after join. A scan/range op is one whole scan call.
+enum LatClass { kLatPut = 0, kLatGet, kLatScan, kLatBatch, kLatClassCount };
+inline constexpr const char* kLatClassNames[kLatClassCount] = {"put", "get",
+                                                               "scan", "batch"};
 
 struct RowResult {
   double total_mops = 0;
   double update_mops = 0;
+  obs::LatHistogram lat[kLatClassCount];  // TSC ticks; see ticks_per_us
+  double ticks_per_us = 1.0;              // per-cell calibration
+};
+
+inline double hist_pct_us(const obs::LatHistogram& h, double p,
+                          double ticks_per_us) {
+  if (h.count() == 0 || ticks_per_us <= 0) return 0;
+  return static_cast<double>(h.value_at_percentile(p)) / ticks_per_us;
+}
+
+// TSC tick rate, measured once per process against steady_clock — used only
+// to convert --rate into a pacing interval. Percentile reporting uses the
+// tighter per-cell calibration run_cell takes at its own endpoints.
+inline double tsc_ticks_per_sec() {
+  static const double tps = [] {
+    const TscClock c;
+    const auto w0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = c.read();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::uint64_t t1 = c.read();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+            .count();
+    return s > 0 ? static_cast<double>(t1 - t0) / s : 1e9;
+  }();
+  return tps;
+}
+
+// Per-worker latency instrumentation; strictly single-threaded (one LatMeter
+// per worker, merged after join). Compiles to nothing under JIFFY_OBS=0 so
+// the obs-off twin bench measures the bare op loop.
+struct LatMeter {
+  obs::LatHistogram hist;
+  TscClock tsc;
+  std::uint64_t interval = 0;  // pacing interval in ticks; 0 = closed loop
+  std::uint64_t intended = 0;
+  std::uint64_t t0 = 0;
+  std::uint64_t n = 0;
+
+  void arm() {
+#if JIFFY_OBS
+    intended = tsc.read();
+#endif
+  }
+
+  // Call before the op. In open-loop mode waits for the next intended start
+  // (never skipping missed slots — the coordinated-omission-free property);
+  // returns false when stop was raised mid-wait.
+  template <class Stopped>
+  bool begin(const Stopped& stopped) {
+#if JIFFY_OBS
+    if (interval != 0) {
+      std::uint64_t now;
+      while ((now = tsc.read()) < intended) {
+        if (stopped()) return false;
+        // Far from the slot, cede the core (these boxes are oversubscribed);
+        // inside ~a microsecond, spin so the start lands on schedule.
+        if (intended - now > 2048) std::this_thread::yield();
+      }
+      t0 = intended;  // latency is measured from the INTENDED start
+    } else {
+      t0 = (n & 3) == 0 ? tsc.read() : 0;  // sampled service time, 1-in-4
+    }
+#else
+    (void)stopped;
+#endif
+    return true;
+  }
+
+  // Call after the op completes.
+  void end() {
+#if JIFFY_OBS
+    ++n;
+    if (interval != 0) {
+      hist.record(tsc.read() - t0);
+      intended += interval;
+    } else if (t0 != 0) {
+      hist.record(tsc.read() - t0);
+    }
+#endif
+  }
 };
 
 // Thread-role split of the paper: indices below are "percent * threads".
@@ -186,17 +295,41 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
   };
   std::vector<CachePadded<OpSlot>> slots(
       static_cast<std::size_t>(threads > 0 ? threads : 1));
+  // Per-worker latency histograms, written once (plainly) by the owner at
+  // the end of its run and merged after join. No padding needed: unlike the
+  // op slots these are cold until the final write.
+  struct LatSlot {
+    obs::LatHistogram hist;
+    int cls = kLatPut;
+  };
+  std::vector<LatSlot> lat_slots(
+      static_cast<std::size_t>(threads > 0 ? threads : 1));
+  // Open-loop pacing: cfg.rate intended ops/sec for the whole cell, split
+  // evenly, expressed as a per-worker TSC interval. 0 = closed loop.
+  const std::uint64_t pace_ticks =
+      cfg.rate > 0 && threads > 0
+          ? static_cast<std::uint64_t>(tsc_ticks_per_sec() * threads /
+                                       cfg.rate)
+          : 0;
 
   // start is a release/acquire edge (pairs: harness-start-stop) so workers
   // cannot observe it before t0 is taken; stop is relaxed and the per-thread
   // op slots are plain because the joins below order everything written.
+  auto stopped = [&stop] {
+    // relaxed: advisory stop flag; thread join orders the counter writes.
+    return stop.load(std::memory_order_relaxed);
+  };
+
   auto updater = [&](int tid) {
     Rng rng(0xBEEF + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
+    LatMeter lm;
+    lm.interval = pace_ticks;
     while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
       std::this_thread::yield();  // oversubscribed: let the coordinator run
-    // relaxed: advisory stop flag; thread join orders the counter writes.
-    while (!stop.load(std::memory_order_relaxed)) {
+    lm.arm();
+    while (!stopped()) {
+      if (!lm.begin(stopped)) break;
       if (cfg.batch.size == 0) {
         const std::uint64_t i = chooser.next_index(rng);
         const K k = KeyCodec<K>::encode(i, cfg.key_space);
@@ -221,67 +354,90 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
         idx.apply(std::move(b));
         ops += cfg.batch.size;
       }
+      lm.end();
     }
     slots[static_cast<std::size_t>(tid)].value = {ops, ops};
+    lat_slots[static_cast<std::size_t>(tid)] = {
+        lm.hist, cfg.batch.size == 0 ? kLatPut : kLatBatch};
   };
 
   auto lookup = [&](int tid) {
     Rng rng(0xFACE + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
+    LatMeter lm;
+    lm.interval = pace_ticks;
     while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
       std::this_thread::yield();  // oversubscribed: let the coordinator run
-    // relaxed: advisory stop flag; thread join orders the counter writes.
-    while (!stop.load(std::memory_order_relaxed)) {
+    lm.arm();
+    while (!stopped()) {
+      if (!lm.begin(stopped)) break;
       const std::uint64_t i = chooser.next_index(rng);
       idx.get(KeyCodec<K>::encode(i, cfg.key_space));
       ++ops;
+      lm.end();
     }
     slots[static_cast<std::size_t>(tid)].value = {ops, 0};
+    lat_slots[static_cast<std::size_t>(tid)] = {lm.hist, kLatGet};
   };
 
   auto scanner = [&](int tid) {
     Rng rng(0x5CA9 + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
+    LatMeter lm;
+    lm.interval = pace_ticks;
     while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
       std::this_thread::yield();  // oversubscribed: let the coordinator run
-    // relaxed: advisory stop flag; thread join orders the counter writes.
-    while (!stop.load(std::memory_order_relaxed)) {
+    lm.arm();
+    while (!stopped()) {
+      if (!lm.begin(stopped)) break;
       const std::uint64_t i = chooser.next_index(rng);
       ops += idx.scan_n(KeyCodec<K>::encode(i, cfg.key_space), roles.scan_len,
                         [](const K&, const V&) {});
+      lm.end();
     }
     slots[static_cast<std::size_t>(tid)].value = {ops, 0};
+    lat_slots[static_cast<std::size_t>(tid)] = {lm.hist, kLatScan};
   };
 
   auto rev_scanner = [&](int tid) {
     Rng rng(0xD15C + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
+    LatMeter lm;
+    lm.interval = pace_ticks;
     while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
       std::this_thread::yield();  // oversubscribed: let the coordinator run
-    // relaxed: advisory stop flag; thread join orders the counter writes.
-    while (!stop.load(std::memory_order_relaxed)) {
+    lm.arm();
+    while (!stopped()) {
+      if (!lm.begin(stopped)) break;
       const std::uint64_t i = chooser.next_index(rng);
       ops += idx.rscan_n(KeyCodec<K>::encode(i, cfg.key_space),
                          roles.scan_len, [](const K&, const V&) {});
+      lm.end();
     }
     slots[static_cast<std::size_t>(tid)].value = {ops, 0};
+    lat_slots[static_cast<std::size_t>(tid)] = {lm.hist, kLatScan};
   };
 
   auto ranger = [&](int tid) {
     Rng rng(0x7A11 + static_cast<std::uint64_t>(tid));
     std::uint64_t ops = 0;
+    LatMeter lm;
+    lm.interval = pace_ticks;
     while (!start.load(std::memory_order_acquire))  // pairs: harness-start-stop
       std::this_thread::yield();  // oversubscribed: let the coordinator run
-    // relaxed: advisory stop flag; thread join orders the counter writes.
-    while (!stop.load(std::memory_order_relaxed)) {
+    lm.arm();
+    while (!stopped()) {
+      if (!lm.begin(stopped)) break;
       const std::uint64_t lo_i = chooser.next_index(rng);
       const std::uint64_t hi_i =
           std::min(lo_i + roles.range_span, cfg.key_space - 1);
       ops += idx.range_scan(KeyCodec<K>::encode(lo_i, cfg.key_space),
                             KeyCodec<K>::encode(hi_i, cfg.key_space),
                             [](const K&, const V&) {});
+      lm.end();
     }
     slots[static_cast<std::size_t>(tid)].value = {ops, 0};
+    lat_slots[static_cast<std::size_t>(tid)] = {lm.hist, kLatScan};
   };
 
   std::vector<std::thread> ts;
@@ -293,12 +449,15 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
     ts.emplace_back(rev_scanner, tid++);
   for (int i = 0; i < roles.rangers; ++i) ts.emplace_back(ranger, tid++);
 
+  const TscClock cal;
   const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t c0 = cal.read();
   start.store(true, std::memory_order_release);  // pairs: harness-start-stop
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.seconds));
   // relaxed: advisory stop flag; thread join orders the counter writes.
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();
+  const std::uint64_t c1 = cal.read();
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -313,7 +472,106 @@ RowResult run_cell(Adapter& idx, const RunConfig& cfg, int threads,
   }
   r.total_mops = static_cast<double>(total) / dt / 1e6;
   r.update_mops = static_cast<double>(updates) / dt / 1e6;
+  // Ticks→µs calibration over this cell's own wall span, so percentile
+  // conversion tracks the actual tick rate of the run, not a boot estimate.
+  r.ticks_per_us =
+      dt > 0 ? static_cast<double>(c1 - c0) / (dt * 1e6) : 1.0;
+  for (const LatSlot& ls : lat_slots) r.lat[ls.cls].merge(ls.hist);
   return r;
+}
+
+// ---- metrics JSON sink (--metrics=<file>) --------------------------------
+// Cells are appended as pre-serialized JSON objects while the figure runs
+// and flushed once at the end (schema jiffy-metrics-v1, read by
+// tools/check_scaling.py --metrics=). A process-global sink keeps the
+// plumbing out of the templated run_index/run_cell signatures.
+struct MetricsSink {
+  std::string path;                // empty = metrics disabled
+  std::vector<std::string> cells;  // serialized JSON objects
+};
+
+inline MetricsSink& metrics_sink() {
+  static MetricsSink s;
+  return s;
+}
+
+inline void append_json_hist(std::string& out, const char* hist_name,
+                             const obs::LatHistogram& h, double ticks_per_us) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"%s\":{\"count\":%llu,\"p50_us\":%.3f,\"p99_us\":%.3f,"
+                "\"p999_us\":%.3f,\"max_us\":%.3f}",
+                hist_name, static_cast<unsigned long long>(h.count()),
+                hist_pct_us(h, 50.0, ticks_per_us),
+                hist_pct_us(h, 99.0, ticks_per_us),
+                hist_pct_us(h, 99.9, ticks_per_us),
+                ticks_per_us > 0
+                    ? static_cast<double>(h.max()) / ticks_per_us
+                    : 0.0);
+  out += buf;
+}
+
+inline void append_metrics_cell(const RunConfig& cfg, const char* index_name,
+                                int threads, const RowResult& r,
+                                const obs::MetricsSnapshot& delta,
+                                const std::string& map_json) {
+  MetricsSink& sink = metrics_sink();
+  if (sink.path.empty()) return;
+  std::string c = "{";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"figure\":\"%s\",\"scenario\":\"%s\",\"batch\":\"%s\","
+      "\"dist\":\"%s\",\"kv\":\"%s\",\"index\":\"%s\",\"threads\":%d,"
+      "\"seconds\":%.3f,\"reps\":%d,\"mode\":\"%s\",\"rate\":%.1f,"
+      "\"total_mops\":%.3f,\"update_mops\":%.3f",
+      cfg.figure.c_str(), scenario_name(cfg.scenario),
+      cfg.batch.name().c_str(),
+      cfg.dist == KeyChooser::Kind::Uniform ? "uniform" : "zipf",
+      cfg.kv_shape.c_str(), index_name, threads, cfg.seconds, cfg.reps,
+      cfg.rate > 0 ? "open" : "closed", cfg.rate, r.total_mops,
+      r.update_mops);
+  c += buf;
+  c += ",\"counters\":{";
+  for (unsigned i = 0; i < obs::kEventCount; ++i) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\":%lld", i ? "," : "",
+                  obs::kEventNames[i],
+                  static_cast<long long>(delta.events[i]));
+    c += buf;
+  }
+  std::snprintf(buf, sizeof buf, ",\"%s\":%lld}", obs::kLimboPeakName,
+                static_cast<long long>(delta.limbo_peak));
+  c += buf;
+  obs::LatHistogram all;
+  for (int i = 0; i < kLatClassCount; ++i) all.merge(r.lat[i]);
+  c += ",\"latency\":{";
+  append_json_hist(c, "all", all, r.ticks_per_us);
+  for (int i = 0; i < kLatClassCount; ++i) {
+    if (r.lat[i].count() == 0) continue;
+    c += ",";
+    append_json_hist(c, kLatClassNames[i], r.lat[i], r.ticks_per_us);
+  }
+  c += "}";
+  if (!map_json.empty()) c += ",\"map\":" + map_json;
+  c += "}";
+  sink.cells.push_back(std::move(c));
+}
+
+inline void write_metrics_file() {
+  MetricsSink& sink = metrics_sink();
+  if (sink.path.empty()) return;
+  std::FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s\n", sink.path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"schema\":\"jiffy-metrics-v1\",\"obs\":%d,\"cells\":[\n",
+               static_cast<int>(JIFFY_OBS));
+  for (std::size_t i = 0; i < sink.cells.size(); ++i)
+    std::fprintf(f, "%s%s\n", sink.cells[i].c_str(),
+                 i + 1 < sink.cells.size() ? "," : "");
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
 }
 
 // Sweeps the thread grid. Every thread-count cell gets its OWN index,
@@ -354,17 +612,45 @@ void run_index(const RunConfig& cfg, const char* name) {
       warm.seconds = cfg.warmup;
       run_cell<K, V>(idx, warm, threads, chooser);
     }
+    // Counter deltas are taken AFTER warmup so the attributed window covers
+    // exactly the measured reps (cells run sequentially; see MetricsSnapshot).
+    const obs::MetricsSnapshot snap0 = obs::snapshot();
     RowResult r = run_cell<K, V>(idx, cfg, threads, chooser);
     for (int rep = 1; rep < cfg.reps; ++rep) {
       const RowResult q = run_cell<K, V>(idx, cfg, threads, chooser);
       if (q.total_mops > r.total_mops) r = q;
     }
-    std::printf("%s,%s,%s,%s,%s,%s,%d,%.3f,%.3f\n", cfg.figure.c_str(),
-                scenario_name(cfg.scenario), cfg.batch.name().c_str(),
+    const obs::MetricsSnapshot delta = obs::snapshot() - snap0;
+    obs::LatHistogram all;
+    for (int c = 0; c < kLatClassCount; ++c) all.merge(r.lat[c]);
+    std::printf("%s,%s,%s,%s,%s,%s,%d,%.3f,%.3f,%.2f,%.2f,%.2f\n",
+                cfg.figure.c_str(), scenario_name(cfg.scenario),
+                cfg.batch.name().c_str(),
                 cfg.dist == KeyChooser::Kind::Uniform ? "uniform" : "zipf",
                 cfg.kv_shape.c_str(), name, threads, r.total_mops,
-                r.update_mops);
+                r.update_mops, hist_pct_us(all, 50.0, r.ticks_per_us),
+                hist_pct_us(all, 99.0, r.ticks_per_us),
+                hist_pct_us(all, 99.9, r.ticks_per_us));
     std::fflush(stdout);
+    if (!metrics_sink().path.empty()) {
+      std::string map_json;
+      if constexpr (requires { idx.underlying().debug_stats(); }) {
+        const auto ds = idx.underlying().debug_stats();
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "{\"node_count\":%zu,\"entry_count\":%zu,"
+            "\"avg_revision_size\":%.2f,\"target_revision_size\":%u,"
+            "\"read_fraction_ema\":%.3f,\"tombstone_count\":%zu,"
+            "\"dead_shell_estimate\":%zu,\"purged_total\":%llu}",
+            ds.node_count, ds.entry_count, ds.avg_revision_size,
+            ds.target_revision_size, ds.read_fraction_ema, ds.tombstone_count,
+            ds.dead_shell_estimate,
+            static_cast<unsigned long long>(ds.purged_total));
+        map_json = buf;
+      }
+      append_metrics_cell(cfg, name, threads, r, delta, map_json);
+    }
   }
 }
 
@@ -378,6 +664,9 @@ struct CliOptions {
   std::string only_scenario;  // a/b/c/d
   bool skip_batches = false;
   int reps = 1;  // best-of-N per cell (see RunConfig::reps)
+  double rate = 0;           // open-loop intended ops/sec (0 = closed loop)
+  std::string metrics_path;  // --metrics=<file>: JSON counter/latency dump
+  std::string trace_path;    // --trace=<file>: binary event-trace dump
 };
 
 inline CliOptions parse_cli(int argc, char** argv) {
@@ -417,10 +706,19 @@ inline CliOptions parse_cli(int argc, char** argv) {
       o.skip_batches = true;
     } else if (a.rfind("--reps=", 0) == 0) {
       o.reps = std::max(1, std::stoi(val("--reps=")));
+    } else if (a.rfind("--rate=", 0) == 0) {
+      o.rate = std::stod(val("--rate="));
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      o.metrics_path = val("--metrics=");
+    } else if (a.rfind("--trace=", 0) == 0) {
+      o.trace_path = val("--trace=");
     } else if (a == "--help") {
       std::printf(
           "flags: --paper | --seconds=S | --entries=N | --threads=a,b,c | "
-          "--index=NAME | --scenario=a|b|c|d|e | --no-batches | --reps=N\n");
+          "--index=NAME | --scenario=a|b|c|d|e | --no-batches | --reps=N | "
+          "--rate=OPS_PER_SEC (open-loop latency mode) | "
+          "--metrics=FILE (per-cell counter/latency JSON) | "
+          "--trace=FILE (binary event trace, see tools/traceview.py)\n");
       std::exit(0);
     }
   }
@@ -453,9 +751,13 @@ void run_figure(const char* figure, const char* kv_shape,
   base.warmup = cli.warmup;
   base.threads = cli.threads;
   base.reps = cli.reps;
+  base.rate = cli.rate;
+  metrics_sink().path = cli.metrics_path;
+  if (!cli.trace_path.empty()) obs::trace_enable(true);
 
   std::printf(
-      "figure,scenario,batch,dist,kv,index,threads,total_mops,update_mops\n");
+      "figure,scenario,batch,dist,kv,index,threads,total_mops,update_mops,"
+      "p50_us,p99_us,p999_us\n");
 
   const Scenario scenarios[] = {Scenario::kUpdateOnly, Scenario::kUpdateLookup,
                                 Scenario::kMixedShortScan,
@@ -504,6 +806,13 @@ void run_figure(const char* figure, const char* kv_shape,
           run_index<K, V, CaSlAdapter<K, V>>(cfg, "ca-sl");
       }
     }
+  }
+
+  write_metrics_file();
+  if (!cli.trace_path.empty()) {
+    const std::uint64_t n = obs::trace_dump(cli.trace_path.c_str());
+    std::fprintf(stderr, "trace: wrote %llu events to %s\n",
+                 static_cast<unsigned long long>(n), cli.trace_path.c_str());
   }
 }
 

@@ -45,8 +45,12 @@ for fig in fig5_uniform_16_100 fig6_uniform_4_4 fig8_zipf_16_100 fig10_zipf_4_4;
   echo "== $fig -> $out"
   : > "$out"
   for idx in $INDICES; do
+    # One metrics dump per (figure, index) invocation: the harness writes
+    # the whole file at exit, so sharing a path across runs would clobber.
+    # check_scaling.py --metrics= accepts the flag repeatedly; glob them.
+    metrics="$OUT_DIR/${fig}_${idx}_${stamp}.metrics.json"
     # shellcheck disable=SC2086
-    "$BUILD_DIR/$fig" --index="$idx" $EXTRA_ARGS | { [ -s "$out" ] && tail -n +2 || cat; } >> "$out"
+    "$BUILD_DIR/$fig" --index="$idx" --metrics="$metrics" $EXTRA_ARGS | { [ -s "$out" ] && tail -n +2 || cat; } >> "$out"
   done
 done
 

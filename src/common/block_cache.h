@@ -24,6 +24,7 @@
 #include <new>
 
 #include "common/prefetch.h"
+#include "obs/counters.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define JIFFY_BLOCK_CACHE_ENABLED 0
@@ -69,8 +70,10 @@ class ThreadBlockCache {
         if (c.heads_[idx])
           prefetch_w_block(c.heads_[idx],
                            static_cast<unsigned>(bytes < 512 ? bytes : 512));
+        JIFFY_COUNT(block_cache_hit);
         return b;
       }
+      JIFFY_COUNT(block_cache_miss);  // cacheable size, empty class list
     }
     return ::operator new(bytes);
   }

@@ -67,6 +67,8 @@
 #include "common/prefetch.h"
 #include "common/striped_counter.h"
 #include "core/schedule_points.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "ebr/ebr.h"
 #include "tsc/clock.h"
 #include "workload/keyvalue.h"
@@ -379,12 +381,15 @@ struct Revision {
   static void unref(Revision* r, bool immediate = false) {
     if (r->link_refs.fetch_sub(1, std::memory_order_acq_rel) ==  // pairs: rev-refs
         1) {
-      if (immediate)
+      if (immediate) {
+        obs::trace_retire(r, r->alloc_bytes, obs::RetireTag::kRevUnrefImmediate);
         dispose(r);
-      else
+      } else {
+        obs::trace_retire(r, r->alloc_bytes, obs::RetireTag::kRevUnref);
         ebr::retire_fn(r, [](void* q) {  // unlink: rev-unref
           dispose(static_cast<Revision*>(q));
         });
+      }
     }
   }
 };
@@ -736,6 +741,7 @@ class JiffyMap {
           if (!hit) size_.increment();  // sharded; see approx_size
           return !hit;
         }
+        JIFFY_COUNT(cas_install_lost);
         if (++losses >= 2) std::this_thread::yield();
         continue;
       }
@@ -763,6 +769,7 @@ class JiffyMap {
         return !hit;
       }
       Rev::unref(nr, /*immediate=*/true);
+      JIFFY_COUNT(cas_install_lost);
       if (++losses >= 2) std::this_thread::yield();
     }
   }
@@ -789,6 +796,7 @@ class JiffyMap {
         return true;
       }
       Rev::unref(nr, /*immediate=*/true);
+      JIFFY_COUNT(cas_install_lost);
       if (++losses >= 2) std::this_thread::yield();
     }
   }
@@ -999,8 +1007,6 @@ class JiffyMap {
   };
 
   DebugStats debug_stats() const {
-    ebr::Guard g;
-    g.assert_held();
     DebugStats s;
     s.target_revision_size = effective_max_size();
     s.read_fraction_ema = scaler_.read_fraction_ema();
@@ -1010,17 +1016,14 @@ class JiffyMap {
         shells > 0 ? static_cast<std::size_t>(shells) : 0;
     // relaxed: lifetime statistic; no ordering with other state needed.
     s.purged_total = purged_total_.load(std::memory_order_relaxed);
-    for (Node* x = head_; x;) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
-      if (r->sibling) ensure_link(x, r, g);
+    for_each_level0([&](Node* x, Rev* r) {
       if (r->kind == RevKind::kAbsorbed) {
         if (r->version_now() != kPendingVersion) ++s.tombstone_count;
       } else if (!x->is_head || r->count != 0) {
         ++s.node_count;
         s.entry_count += r->count;
       }
-      x = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
-    }
+    });
     if (s.node_count)
       s.avg_revision_size = static_cast<double>(s.entry_count) /
                             static_cast<double>(s.node_count);
@@ -1028,15 +1031,8 @@ class JiffyMap {
   }
 
   std::size_t size_slow() const {
-    ebr::Guard g;
-    g.assert_held();
     std::size_t n = 0;
-    for (Node* x = head_; x;) {
-      Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
-      if (r->sibling) ensure_link(x, r, g);
-      n += r->count;
-      x = x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
-    }
+    for_each_level0([&](Node*, Rev* r) { n += r->count; });
     return n;
   }
 
@@ -1140,6 +1136,61 @@ class JiffyMap {
       // already-loaded revision pointer): every caller searches it next.
       prefetch_ro(now->begin());
       return {live, now};
+    }
+  }
+
+  // Resume point for the chunked introspection walk: the first level-0 node
+  // whose anchor is strictly greater than k, tombstones INCLUDED — locate()
+  // cannot serve here because it hops off absorbed shells, which the stats
+  // walk must count. Plain tower descent; anchors are immutable.
+  Node* stats_resume(const K& k, const ebr::Guard& g) const
+      JIFFY_REQUIRES_GUARD(g) {
+    g.assert_held();
+    Node* x = head_;
+    for (int l = Node::kMaxHeight - 1; l >= 0; --l) {
+      for (Node* nxt =
+               x->next[l].load(std::memory_order_acquire);  // pairs: next-link
+           nxt && !less_(k, nxt->anchor);
+           nxt = x->next[l].load(std::memory_order_acquire))  // pairs: next-link
+        x = nxt;
+    }
+    return x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
+  }
+
+  // Level-0 walk over every node (tombstones included) for the introspection
+  // paths, chunked so no single ebr::Guard pins the epoch across the whole
+  // map: after ~kChunkNodes nodes the guard is dropped and the walk resumes
+  // via stats_resume() strictly above the last visited anchor. The chunk
+  // boundary is only placed where the anchor strictly increases, so resume
+  // cannot revisit or skip within a run of equal anchors. Exact on a
+  // quiescent map (what the tests compare against); under racing merges a
+  // node absorbed across a chunk boundary may be missed or double-counted —
+  // the same diagnostic slack the old single-guard walk already had for
+  // nodes merging behind the cursor.
+  template <class Visit>
+  void for_each_level0(Visit&& visit) const {
+    static constexpr std::size_t kChunkNodes = 1024;
+    bool from_head = true;
+    K resume{};
+    for (;;) {
+      ebr::Guard g;
+      g.assert_held();
+      Node* x = from_head ? head_ : stats_resume(resume, g);
+      from_head = false;
+      std::size_t seen = 0;
+      while (x) {
+        Rev* r = x->rev.load(std::memory_order_seq_cst);  // pairs: rev-install
+        if (r->sibling) ensure_link(x, r, g);
+        visit(x, r);
+        Node* nxt =
+            x->next[0].load(std::memory_order_seq_cst);  // pairs: next-link
+        if (++seen >= kChunkNodes && nxt && less_(x->anchor, nxt->anchor)) {
+          resume = x->anchor;  // key copy: nothing guarded escapes the region
+          break;
+        }
+        x = nxt;
+      }
+      if (!x) return;  // reached the end inside this guard
     }
   }
 
@@ -1258,8 +1309,15 @@ class JiffyMap {
       if (!x->rev.compare_exchange_strong(
               r, nr, std::memory_order_seq_cst)) {  // pairs: rev-install
         Rev::unref(nr, /*immediate=*/true);
+        // A fully-built group revision thrown away because a rival (owner
+        // or helper) installed the same group first — the helping-replay
+        // duplication the ROADMAP batched-scaling item attributes the
+        // b10/b100 deficit to. The metrics JSON reports the ratio of this
+        // against replay_group_claimed per cell.
+        JIFFY_COUNT(replay_group_duplicated);
         continue;  // lost the race (maybe to a helper): re-read watermark
       }
+      JIFFY_COUNT(replay_group_claimed);
       delta += static_cast<std::int64_t>(nr->count) -
                static_cast<std::int64_t>(r->count);
       replaced.push_back(r);
@@ -1300,6 +1358,7 @@ class JiffyMap {
     if (!r->cell) {
       if (r->kind != RevKind::kPlain) return false;
       r->stamp(clock_.read());
+      JIFFY_COUNT(help_stamp);
       return true;
     }
     if (!r->cell->helpable && r->kind == RevKind::kBatch) {
@@ -1310,6 +1369,7 @@ class JiffyMap {
         return false;
     }
     r->stamp(clock_.read());
+    JIFFY_COUNT(help_stamp);
     return true;
   }
 
@@ -1465,6 +1525,7 @@ class JiffyMap {
                            std::memory_order_release);  // pairs: back-hint
     sched::point(sched::Point::kSplitStamp);
     rlow->stamp(clock_.read());
+    JIFFY_COUNT(split);
     const std::uint64_t b_v =
         cell->version.load(std::memory_order_seq_cst);  // pairs: version-stamp
     for (Node* m : new_nodes) {
@@ -1562,6 +1623,7 @@ class JiffyMap {
     }
     sched::point(sched::Point::kMergeStamp);
     merged->stamp(clock_.read());  // one stamp publishes both sides
+    JIFFY_COUNT(merge);
     Rev::unref(rx);
     Rev::unref(rs);
     release_cell(cell);
@@ -1637,6 +1699,7 @@ class JiffyMap {
   // a condemned node, and it must have fired before the sweep that is
   // expected to leave none behind.
   std::size_t purge_sweep(const ebr::Guard& g) JIFFY_REQUIRES_GUARD(g) {
+    JIFFY_COUNT(purge_sweeps);
     std::size_t fixes = 0;
     Node* p = head_;
     while (p) {
@@ -1686,6 +1749,7 @@ class JiffyMap {
     const std::size_t n = purge_pending_.size();
     for (Node* x : purge_pending_) {
       sched::point(sched::Point::kPurgeRetire);
+      obs::trace_retire(x, sizeof(Node), obs::RetireTag::kPurgeShell);
       ebr::retire_fn(x, &delete_dead_node);  // unlink: purge-shell
     }
     purge_pending_.clear();

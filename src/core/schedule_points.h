@@ -3,8 +3,9 @@
 // The engine calls jiffy::sched::point(Point::kX) at every named schedule
 // point — the instants between a CAS publishing shared state and the follow-up
 // step that makes it complete (stamp, watermark bump, link). In release builds
-// (JIFFY_SCHEDULE_POINTS undefined) point() is an empty inline and the header
-// adds zero cost and zero includes beyond <cstdint>.
+// (JIFFY_SCHEDULE_POINTS undefined) point() reduces to the obs trace hook —
+// one relaxed load of the trace-enable flag (and nothing at all under
+// JIFFY_OBS=0); the fault-injection machinery below stays compiled out.
 //
 // In test builds (-DJIFFY_SCHEDULE_POINTS=1) a FaultPlan installed by the test
 // can, at the Nth global hit of a point:
@@ -24,6 +25,8 @@
 #pragma once
 
 #include <cstdint>
+
+#include "obs/trace.h"
 
 #if defined(JIFFY_SCHEDULE_POINTS) && JIFFY_SCHEDULE_POINTS
 #include <atomic>
@@ -198,13 +201,14 @@ inline bool& this_thread_enabled() {
 inline void enable_this_thread(bool on) { this_thread_enabled() = on; }
 
 inline void point(Point p) {
+  obs::trace_sched(static_cast<unsigned>(p));
   FaultPlan* f = FaultPlan::installed();
   if (f != nullptr && this_thread_enabled()) f->on_point(p);
 }
 
 #else  // !JIFFY_SCHEDULE_POINTS
 
-inline void point(Point) {}
+inline void point(Point p) { obs::trace_sched(static_cast<unsigned>(p)); }
 
 #endif
 

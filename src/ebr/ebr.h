@@ -43,6 +43,8 @@
 #include "common/analysis.h"
 #include "common/prefetch.h"
 #include "common/striped_counter.h"  // CachePadded, kCacheLineBytes
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace jiffy::ebr {
 
@@ -131,8 +133,9 @@ inline std::uint64_t try_advance() {
     if (pinned != kIdleEpoch && pinned != e) return e;
   }
   std::uint64_t expected = e;
-  g.epoch.compare_exchange_strong(expected, e + 1,
-                                  std::memory_order_seq_cst);  // pairs: ebr-epoch
+  if (g.epoch.compare_exchange_strong(expected, e + 1,
+                                      std::memory_order_seq_cst))  // pairs: ebr-epoch
+    obs::trace_epoch(e + 1);
   return g.epoch.load(std::memory_order_seq_cst);  // pairs: ebr-epoch
 }
 
@@ -246,6 +249,7 @@ inline void retire_fn(void* p, void (*deleter)(void*)) {
   if (!bucket.empty() && rec->limbo_epoch[e % 3] != e) free_bucket(bucket);
   rec->limbo_epoch[e % 3] = e;
   bucket.push_back({p, deleter});
+  JIFFY_COUNT_MAX_LIMBO(static_cast<std::int64_t>(bucket.size()));
 
   if (++rec->retires_since_scan >= 64) {
     rec->retires_since_scan = 0;
@@ -268,6 +272,7 @@ inline void retire_fn(void* p, void (*deleter)(void*)) {
         rec->retires_since_valve >= kValvePeriod) {
       rec->retires_since_valve = 0;
       for (int tries = 0; tries < 8 && now == e; ++tries) {
+        JIFFY_COUNT(valve_donations);
         std::this_thread::yield();
         now = try_advance();
       }

@@ -1,0 +1,102 @@
+// Log-linear ("HDR-style") latency histogram (ISSUE 10, DESIGN.md §15).
+//
+// Fixed-size, allocation-free histogram over the full uint64 value range,
+// bucketed log-linearly: values below 2^kSubBits are exact; above that each
+// power-of-two octave is split into 2^kSubBits linear sub-buckets, bounding
+// the relative quantization error at 2^-kSubBits (3.125% with kSubBits=5 —
+// the same scheme HdrHistogram and RocksDB's HistogramStat use). Values are
+// raw ticks (TscClock reads in the harness); conversion to wall time happens
+// at report time with a per-cell calibration, so record() stays one shift +
+// one table update.
+//
+// Deliberately NOT thread-safe: each harness worker owns a private instance
+// (plain uint64 counts, no atomics, no false sharing) and the coordinator
+// merge()s them after join — join provides all the ordering needed. The
+// footprint (~15 KB) lives on the worker's stack or in its per-thread slot,
+// never on a shared cacheline.
+//
+// tests/test_obs.cpp pins bucket math and percentiles against a
+// sorted-vector oracle.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace jiffy::obs {
+
+class LatHistogram {
+ public:
+  // 32 linear sub-buckets per octave: <= 3.125% relative error, 1920
+  // buckets, 15 KB per instance. Raising kSubBits doubles both.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr unsigned kSubCount = 1u << kSubBits;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(64 - kSubBits + 1) * kSubCount;
+
+  void record(std::uint64_t v) {
+    ++counts_[index_of(v)];
+    ++total_;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatHistogram& o) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+
+  // Smallest recorded-bucket upper edge covering fraction p (in [0,100]) of
+  // the samples. Returns the bucket's highest representable value, so the
+  // result over-reports the exact order statistic by at most one bucket
+  // width (<= 3.125% relative), never under-reports it.
+  std::uint64_t value_at_percentile(double p) const {
+    if (total_ == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 100) p = 100;
+    const double want = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t target = static_cast<std::uint64_t>(want);
+    if (static_cast<double>(target) < want) ++target;
+    if (target == 0) target = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cum += counts_[i];
+      if (cum >= target) {
+        const std::uint64_t hi = upper_edge(i);
+        return hi < max_ ? hi : max_;  // clamp the top bucket to the max seen
+      }
+    }
+    return max_;
+  }
+
+  // Bucket mapping, exposed for the oracle test.
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const std::size_t block = msb - kSubBits + 1;
+    return block * kSubCount +
+           static_cast<std::size_t>((v >> shift) & (kSubCount - 1));
+  }
+
+  // Highest value mapping to bucket i (inclusive upper edge).
+  static std::uint64_t upper_edge(std::size_t i) {
+    if (i < kSubCount) return static_cast<std::uint64_t>(i);
+    const std::size_t block = i / kSubCount;
+    const std::size_t sub = i % kSubCount;
+    const unsigned msb = static_cast<unsigned>(block) + kSubBits - 1;
+    const unsigned shift = msb - kSubBits;
+    const std::uint64_t base = std::uint64_t{1} << msb;
+    return base + ((static_cast<std::uint64_t>(sub) + 1) << shift) - 1;
+  }
+
+ private:
+  std::uint64_t counts_[kBucketCount] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace jiffy::obs

@@ -16,10 +16,12 @@
 #include <cstdlib>
 #include <optional>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/jiffy.h"
+#include "obs/trace.h"
 #include "oracle.h"
 #include "test_util.h"
 #include "workload/rng.h"
@@ -148,13 +150,29 @@ void reader(const Map& map, const Oracle& oracle, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t seconds = env_u64("JIFFY_STRESS_SECONDS", 2);
   std::uint64_t seed = env_u64("JIFFY_STRESS_SEED", 0);
   if (seed == 0) seed = std::random_device{}();
   std::printf("stress oracle: seed=%llu seconds=%llu\n",
               static_cast<unsigned long long>(seed),
               static_cast<unsigned long long>(seconds));
+
+  // Protocol forensics: --trace=<file> (or JIFFY_TRACE=<file>, which the
+  // nightly job sets so ctest needs no per-test arguments) records every
+  // schedule-point hit, retire and epoch advance into the per-thread rings
+  // and dumps them after join — the "logged retire stream" the ROADMAP's
+  // heap-corruption hunt calls for. Decode with tools/traceview.py.
+  std::string trace_path;
+  if (const char* env = std::getenv("JIFFY_TRACE")) trace_path = env;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) trace_path = a.substr(8);
+  }
+  if (!trace_path.empty()) {
+    jiffy::obs::trace_enable(true);
+    std::printf("stress oracle: tracing to %s\n", trace_path.c_str());
+  }
 
 #if defined(JIFFY_SCHEDULE_POINTS) && JIFFY_SCHEDULE_POINTS
   // Chaos only: bounded yields/stalls at engine schedule points. Mutators
@@ -247,6 +265,15 @@ int main() {
 #if defined(JIFFY_SCHEDULE_POINTS) && JIFFY_SCHEDULE_POINTS
   jiffy::sched::FaultPlan::uninstall();
 #endif
+
+  // Workers are joined and the final purges above are done on this thread,
+  // so every ring is quiescent — the dump contract trace.h states.
+  if (!trace_path.empty()) {
+    const std::uint64_t n = jiffy::obs::trace_dump(trace_path.c_str());
+    std::printf("stress oracle: wrote %llu trace events to %s\n",
+                static_cast<unsigned long long>(n), trace_path.c_str());
+    CHECK(n > 0);
+  }
 
   CHECK(tally.ok.load() > 0);  // the harness actually validated something
   CHECK_EQ(tally.failed.load(), 0u);

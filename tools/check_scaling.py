@@ -24,17 +24,29 @@ reported as WARNINGS:
   box at 2 threads but 25% at 4+ (1 scanner of 2 vs 1 of 4) — the apparent
   2->4 "cliff" is that share arithmetic, not the engine;
 * batched groups (b10/b100 seq/rand): their multi-thread deficit is
-  helping-replay duplication in the batch protocol — pre-existing at the
-  ISSUE-9 seed (fig10 b100_rand already ran 0.65x at 2 threads before any
-  of this work) and a different mechanism from the per-op cacheline and
-  allocator contention the hard gate protects (ROADMAP item).
+  pre-existing at the ISSUE-9 seed (fig10 b100_rand already ran 0.65x at
+  2 threads before any of this work) and a different mechanism from the
+  per-op cacheline and allocator contention the hard gate protects
+  (ROADMAP item). The ISSUE-10 counters MEASURED the long-suspected
+  helping-replay-duplication explanation and refuted it: across the
+  b10/b100 x seq/rand x 1/2/4-thread sweep, replay_group_duplicated is
+  <= 0.03% of installed groups (typically 0-5 of tens of thousands), so
+  rebuilt group work is noise — the deficit is descriptor coordination
+  plus oversubscription, not duplicated rebuilds.
+
+--metrics=<file> (repeatable) points at the harness's --metrics JSON dump
+(schema jiffy-metrics-v1, src/obs/counters.h). When the dump covers a
+batched group that warns, the warning stops guessing and reports the
+MEASURED replay-duplication ratio — replay_group_duplicated /
+(replay_group_claimed + replay_group_duplicated) for the matching cells —
+so "helping replay rebuilt 38% of groups" replaces "probably helping".
 
 --strict-batches widens the gate to every group (scans included) for local
 what-if runs.
 
 Usage:
     tools/check_scaling.py [--ratio=0.9] [--index=jiffy] [--strict-batches]
-                           CSV [CSV ...]
+                           [--metrics=metrics.json ...] CSV [CSV ...]
 
 Exit status: 0 when every gated group passes (or has no multi-thread rows),
 1 on any violation, 2 on usage/parse errors. Non-fig CSVs (ablations with a
@@ -43,13 +55,51 @@ whole sweep directory glob.
 """
 
 import csv
+import json
 import sys
 
 REQUIRED = ["figure", "scenario", "batch", "dist", "kv", "index", "threads",
             "total_mops"]
 
 
-def check_file(path, ratio, index_name, strict_batches, violations, warnings):
+def load_metrics(paths):
+    """Aggregates replay counters from jiffy-metrics-v1 dumps.
+
+    Returns {(figure, scenario, batch, dist, kv, index, threads):
+             [claimed, duplicated]}, summed across dumps (a re-run sweep
+    appends a second metrics file rather than merging cells)."""
+    cells = {}
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != "jiffy-metrics-v1":
+            print(f"error: {path}: schema {doc.get('schema')!r} "
+                  f"(want jiffy-metrics-v1)")
+            sys.exit(2)
+        for cell in doc.get("cells", []):
+            key = (cell.get("figure"), cell.get("scenario"),
+                   cell.get("batch"), cell.get("dist"), cell.get("kv"),
+                   cell.get("index"), int(cell.get("threads", 0)))
+            counters = cell.get("counters", {})
+            agg = cells.setdefault(key, [0, 0])
+            agg[0] += counters.get("replay_group_claimed", 0)
+            agg[1] += counters.get("replay_group_duplicated", 0)
+    return cells
+
+
+def replay_note(metrics, key, index_name, threads):
+    """Measured duplication ratio suffix for a batched-group warning."""
+    agg = metrics.get(key + (index_name, threads))
+    if not agg or agg[0] + agg[1] == 0:
+        return ""
+    claimed, duplicated = agg
+    total = claimed + duplicated
+    return (f" [measured: helping replay rebuilt {duplicated}/{total} "
+            f"groups = {100.0 * duplicated / total:.1f}% duplicated]")
+
+
+def check_file(path, ratio, index_name, strict_batches, metrics, violations,
+               warnings):
     with open(path, newline="") as fh:
         reader = csv.DictReader(fh)
         header = reader.fieldnames or []
@@ -84,6 +134,8 @@ def check_file(path, ratio, index_name, strict_batches, violations, warnings):
                 msg = (f"{path}: {'/'.join(key)}: {threads} threads = "
                        f"{by_threads[threads]:.3f} Mops < {ratio:.2f} x "
                        f"{prev}-thread ({base:.3f}) = {floor:.3f}")
+                if not gated and key[2] != "simple":
+                    msg += replay_note(metrics, key, index_name, threads)
                 (violations if gated else warnings).append(msg)
     return checked
 
@@ -93,6 +145,7 @@ def main(argv):
     index_name = "jiffy"
     strict_batches = False
     paths = []
+    metrics_paths = []
     for arg in argv[1:]:
         if arg.startswith("--ratio="):
             ratio = float(arg[len("--ratio="):])
@@ -100,6 +153,8 @@ def main(argv):
             index_name = arg[len("--index="):]
         elif arg == "--strict-batches":
             strict_batches = True
+        elif arg.startswith("--metrics="):
+            metrics_paths.append(arg[len("--metrics="):])
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -112,12 +167,13 @@ def main(argv):
         print("error: no CSV files given (try BENCH_RESULTS/fig*.csv)")
         return 2
 
+    metrics = load_metrics(metrics_paths)
     violations = []
     warnings = []
     checked = 0
     for path in paths:
         checked += check_file(path, ratio, index_name, strict_batches,
-                              violations, warnings)
+                              metrics, violations, warnings)
 
     for w in warnings:
         print(f"  WARN (not gated) {w}")
